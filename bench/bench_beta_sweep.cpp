@@ -1,0 +1,48 @@
+// Ablation A1: the grace factor beta (§3.1.2 design choice). Sweeps beta
+// from the Android default window factor (0.75) to the paper's 0.96 and
+// reports the energy/delay trade-off under SIMTY. Expectation: energy falls
+// and imperceptible delay grows monotonically (roughly) with beta; the
+// guarantee bound (1 + beta) ReIn is respected everywhere.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+
+using namespace simty;
+
+int main() {
+  const double kBetas[] = {0.75, 0.80, 0.85, 0.90, 0.96};
+  const int kReps = 3;
+
+  for (const exp::WorkloadKind workload :
+       {exp::WorkloadKind::kLight, exp::WorkloadKind::kHeavy}) {
+    exp::ExperimentConfig native_cfg;
+    native_cfg.policy = exp::PolicyKind::kNative;
+    native_cfg.workload = workload;
+    const exp::RunResult native = exp::run_repeated(native_cfg, kReps);
+
+    TextTable t(std::string("Beta sweep, ") + to_string(workload) +
+                " workload (SIMTY vs NATIVE baseline)");
+    t.set_header({"beta", "total (J)", "saving vs NATIVE", "awake (J)",
+                  "imperceptible delay", "worst gap/ReIn", "violations"});
+    for (const double beta : kBetas) {
+      exp::ExperimentConfig c;
+      c.policy = exp::PolicyKind::kSimty;
+      c.workload = workload;
+      c.beta = beta;
+      const exp::RunResult r = exp::run_repeated(c, kReps);
+      t.add_row({str_format("%.2f", beta),
+                 str_format("%.1f", r.energy.total().joules_f()),
+                 percent(1.0 - r.energy.total().ratio(native.energy.total())),
+                 str_format("%.1f", r.energy.awake_total().joules_f()),
+                 percent(r.delay_imperceptible),
+                 str_format("%.3f", r.worst_gap_ratio),
+                 str_format("%llu", static_cast<unsigned long long>(r.gap_violations))});
+    }
+    std::printf("%s(NATIVE total: %.1f J)\n\n", t.render().c_str(),
+                native.energy.total().joules_f());
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A11: the whole-day context the paper's introduction is built on
+// (ref [9], SIGMETRICS'10): phones sit in standby ~89% of the time and
+// standby burns ~46.3% of daily energy. Composes a sampled day of
+// interactive sessions with measured standby power under each policy and
+// reports the context statistics plus battery-life-in-days.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hw/battery.hpp"
+#include "usage/day_model.hpp"
+
+using namespace simty;
+
+int main() {
+  usage::UsagePattern pattern;
+
+  TextTable t("Daily context (heavy workload standby, sampled usage day, 3 seeds)");
+  t.set_header({"Policy", "standby time share", "standby energy share",
+                "daily energy (kJ)", "battery life (days)"});
+
+  const hw::Battery pack = hw::Battery::nexus5();
+  for (const exp::PolicyKind policy :
+       {exp::PolicyKind::kNative, exp::PolicyKind::kSimty}) {
+    double time_share = 0.0, energy_share = 0.0, daily_kj = 0.0, days = 0.0;
+    const int reps = 3;
+    for (int i = 0; i < reps; ++i) {
+      exp::ExperimentConfig c;
+      c.policy = policy;
+      c.workload = exp::WorkloadKind::kHeavy;
+      const usage::DayResult day =
+          usage::simulate_day(c, pattern, static_cast<std::uint64_t>(i + 1));
+      time_share += day.standby_time_share() / reps;
+      energy_share += day.standby_energy_share() / reps;
+      daily_kj += day.total_energy().joules_f() / 1000.0 / reps;
+      days += day.battery_days(pack.capacity()) / reps;
+    }
+    t.add_row({to_string(policy), percent(time_share), percent(energy_share),
+               str_format("%.1f", daily_kj), str_format("%.2f", days)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nPaper context (ref [9]): standby ~89%% of time, ~46.3%% of daily\n"
+              "energy. SIMTY attacks exactly that standby share; interactive\n"
+              "energy is untouched, so whole-day battery life improves by the\n"
+              "standby share it saves.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figure 2 (the motivating example of §2.2): a queue snapshot
+// holding a calendar alarm (speaker & vibrator) and one WPS location alarm,
+// into which a second WPS alarm is inserted. NATIVE aligns the new alarm
+// with the calendar entry (first window overlap) and pays two WPS fixes:
+// 400 + 3650 x 2 - 180 = 7,520 mJ in the paper's arithmetic. The
+// similarity-based alignment tolerates a longer postponement and lands the
+// new alarm on the other WPS entry: 400 + 3650 = 4,050 mJ.
+
+#include <cstdio>
+#include <memory>
+
+#include "alarm/alarm_manager.hpp"
+#include "alarm/native_policy.hpp"
+#include "alarm/simty_policy.hpp"
+#include "hw/device.hpp"
+#include "hw/power_bus.hpp"
+#include "hw/rtc.hpp"
+#include "hw/wakelock.hpp"
+#include "power/energy_accounting.hpp"
+#include "sim/simulator.hpp"
+
+using namespace simty;
+
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+
+struct Fig2Outcome {
+  double snapshot_mj = 0.0;  // awake energy of the three deliveries
+  std::uint64_t wakeups = 0;
+  std::uint64_t wps_cycles = 0;
+};
+
+Fig2Outcome run(std::unique_ptr<alarm::AlignmentPolicy> policy) {
+  sim::Simulator sim;
+  hw::PowerBus bus;
+  power::EnergyAccountant accountant;
+  bus.add_listener(&accountant);
+  const hw::PowerModel model = hw::PowerModel::nexus5();
+  hw::Device device(sim, model, bus);
+  hw::Rtc rtc(sim, device);
+  hw::WakelockManager wakelocks(sim, model, bus);
+  alarm::AlarmManager manager(sim, device, rtc, wakelocks, std::move(policy));
+
+  const Duration kRein = Duration::seconds(1800);
+  auto reg = [&](const char* tag, double alpha_frac, std::int64_t first_s,
+                 hw::ComponentSet set, Duration hold) {
+    return manager.register_alarm(
+        alarm::AlarmSpec::repeating(tag, alarm::AppId{1}, alarm::RepeatMode::kStatic,
+                                    kRein, alpha_frac, 0.96),
+        at(first_s),
+        [set, hold](const alarm::Alarm&, TimePoint) {
+          return alarm::TaskSpec{set, hold};
+        });
+  };
+
+  // Profiling pass: deliver each alarm once, far apart, so the framework
+  // learns the hardware sets (footnote 4) and perceptibility.
+  const alarm::AlarmId calendar =
+      reg("calendar", 150.0 / 1800.0, 100,
+          hw::ComponentSet{hw::Component::kSpeaker, hw::Component::kVibrator},
+          Duration::seconds(1));
+  const alarm::AlarmId wps1 = reg("location-a", 300.0 / 1800.0, 400,
+                                  hw::ComponentSet{hw::Component::kWps},
+                                  Duration::seconds(10));
+  const alarm::AlarmId wps2 = reg("location-b", 130.0 / 1800.0, 700,
+                                  hw::ComponentSet{hw::Component::kWps},
+                                  Duration::seconds(10));
+  sim.run_until(at(1000));
+
+  // Build the Fig 2 snapshot: calendar window [2000,2150], first WPS alarm
+  // window [2200,2500] (two disjoint entries), then insert the new WPS
+  // alarm with window [2100,2230] overlapping BOTH.
+  manager.set(calendar, at(2000));
+  manager.set(wps1, at(2200));
+  manager.set(wps2, at(2100));
+
+  device.finalize(sim.now());
+  accountant.finalize(sim.now());
+  const Energy before = accountant.breakdown().awake_total();
+  const std::uint64_t wakeups_before = device.wakeup_count();
+  const std::uint64_t cycles_before = wakelocks.usage(hw::Component::kWps).cycles;
+
+  sim.run_until(at(3000));
+  device.finalize(sim.now());
+  accountant.finalize(sim.now());
+
+  Fig2Outcome out;
+  out.snapshot_mj = (accountant.breakdown().awake_total() - before).mj();
+  out.wakeups = device.wakeup_count() - wakeups_before;
+  out.wps_cycles = wakelocks.usage(hw::Component::kWps).cycles - cycles_before;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Fig2Outcome native = run(std::make_unique<alarm::NativePolicy>());
+  const Fig2Outcome simty = run(std::make_unique<alarm::SimtyPolicy>());
+
+  std::printf("Figure 2: motivating example (energy for the three deliveries)\n");
+  std::printf("  paper:   NATIVE 7520.0 mJ (2 WPS fixes), similarity-based 4050.0 mJ (1 WPS fix)\n");
+  std::printf("  NATIVE:  %.1f mJ, %llu wakeups, %llu WPS fixes\n", native.snapshot_mj,
+              static_cast<unsigned long long>(native.wakeups),
+              static_cast<unsigned long long>(native.wps_cycles));
+  std::printf("  SIMTY:   %.1f mJ, %llu wakeups, %llu WPS fixes\n", simty.snapshot_mj,
+              static_cast<unsigned long long>(simty.wakeups),
+              static_cast<unsigned long long>(simty.wps_cycles));
+  std::printf("  saving:  %.1f%% (paper: 46.1%%)\n",
+              100.0 * (1.0 - simty.snapshot_mj / native.snapshot_mj));
+  return 0;
+}

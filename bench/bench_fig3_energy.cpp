@@ -1,0 +1,60 @@
+// Reproduces Figure 3: total energy consumed in connected standby under
+// NATIVE and SIMTY for the light and heavy workloads (3-hour sessions,
+// three seeds averaged), split into the alignable awake energy and the
+// sleep floor. Paper expectations: SIMTY saves >33% of NATIVE's awake
+// energy in both scenarios and ~20% / ~25% of the total energy under the
+// light / heavy workloads, extending standby time by 1/4 to 1/3.
+
+#include <cstdio>
+
+#include "exp/experiment.hpp"
+#include "exp/reporting.hpp"
+
+using namespace simty;
+
+int main() {
+  const int kReps = 3;
+
+  auto run = [&](exp::PolicyKind policy, exp::WorkloadKind workload) {
+    exp::ExperimentConfig c;
+    c.policy = policy;
+    c.workload = workload;
+    return exp::run_repeated_stats(c, kReps);
+  };
+
+  std::vector<exp::RepeatedStats> stats;
+  stats.push_back(run(exp::PolicyKind::kNative, exp::WorkloadKind::kLight));
+  stats.push_back(run(exp::PolicyKind::kSimty, exp::WorkloadKind::kLight));
+  stats.push_back(run(exp::PolicyKind::kNative, exp::WorkloadKind::kHeavy));
+  stats.push_back(run(exp::PolicyKind::kSimty, exp::WorkloadKind::kHeavy));
+
+  const char* kLabels[] = {"L-NATIVE", "L-SIMTY", "H-NATIVE", "H-SIMTY"};
+  std::vector<exp::NamedResult> columns;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    columns.push_back({kLabels[i], stats[i].mean});
+  }
+
+  std::printf("%s\n", exp::render_energy_figure(columns).c_str());
+
+  std::printf("across-seed spread (mean ± 95%% CI over %d seeds):\n", kReps);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    std::printf("  %-9s total %s J, awake %s J\n", kLabels[i],
+                stats[i].total_j.to_string(1).c_str(),
+                stats[i].awake_j.to_string(1).c_str());
+  }
+  std::printf("\n");
+
+  // Savings within each workload pair (the numbers quoted in §4.2).
+  auto pair_saving = [&](std::size_t n, std::size_t s) {
+    const auto& native = columns[n].result.energy;
+    const auto& simty = columns[s].result.energy;
+    std::printf("%s vs %s: awake saving %.1f%%, total saving %.1f%%\n",
+                columns[s].label.c_str(), columns[n].label.c_str(),
+                100.0 * (1.0 - simty.awake_total().ratio(native.awake_total())),
+                100.0 * (1.0 - simty.total().ratio(native.total())));
+  };
+  pair_saving(0, 1);
+  pair_saving(2, 3);
+  std::printf("\n%s\n", exp::render_standby_projection(columns).c_str());
+  return 0;
+}

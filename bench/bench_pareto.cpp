@@ -1,0 +1,35 @@
+// Ablation A16: the energy/freshness Pareto frontier (the trade-off space
+// of ref [8], applied to wakeup management). Sweeps beta finely and plots
+// (total energy, average imperceptible delay) points for SIMTY against the
+// EXACT / NATIVE / doze-free anchors — CSV on stdout for plotting.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "exp/experiment.hpp"
+
+using namespace simty;
+
+int main() {
+  std::printf("workload,variant,beta,total_J,delay_imperceptible,delay_p95\n");
+  for (const exp::WorkloadKind workload :
+       {exp::WorkloadKind::kLight, exp::WorkloadKind::kHeavy}) {
+    auto emit = [&](const char* variant, double beta, const exp::RunResult& r) {
+      std::printf("%s,%s,%.3f,%.2f,%.5f,%.5f\n", to_string(workload), variant, beta,
+                  r.energy.total().joules_f(), r.delay_imperceptible,
+                  r.delay_imperceptible_p95);
+    };
+    exp::ExperimentConfig c;
+    c.workload = workload;
+    c.policy = exp::PolicyKind::kExact;
+    emit("EXACT", 0.0, exp::run_repeated(c, 3));
+    c.policy = exp::PolicyKind::kNative;
+    emit("NATIVE", 0.0, exp::run_repeated(c, 3));
+    c.policy = exp::PolicyKind::kSimty;
+    for (const double beta : {0.75, 0.78, 0.81, 0.84, 0.87, 0.90, 0.93, 0.96}) {
+      c.beta = beta;
+      emit("SIMTY", beta, exp::run_repeated(c, 3));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A4: scalability in the number of resident apps. The paper's
+// intro expects "increasing the number of resident apps will accelerate
+// battery depletion"; this sweep shows how total energy and wakeups grow
+// with app count under EXACT / NATIVE / SIMTY and that SIMTY's advantage
+// widens as the queue gets denser (more alignment opportunities).
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+
+using namespace simty;
+
+int main() {
+  const std::size_t kCounts[] = {4, 9, 18, 36, 64};
+
+  TextTable t("Scalability: synthetic workloads, 3-hour standby, 3 seeds");
+  t.set_header({"apps", "EXACT total (J)", "NATIVE total (J)", "SIMTY total (J)",
+                "SIMTY saving vs NATIVE", "NATIVE CPU wakeups", "SIMTY CPU wakeups"});
+  for (const std::size_t n : kCounts) {
+    auto run = [&](exp::PolicyKind p) {
+      exp::ExperimentConfig c;
+      c.policy = p;
+      c.workload = exp::WorkloadKind::kSynthetic;
+      c.synthetic_apps = n;
+      c.system_alarms = true;
+      return exp::run_repeated(c, 3);
+    };
+    const exp::RunResult exact = run(exp::PolicyKind::kExact);
+    const exp::RunResult native = run(exp::PolicyKind::kNative);
+    const exp::RunResult simty = run(exp::PolicyKind::kSimty);
+    auto cpu = [](const exp::RunResult& r) {
+      for (const auto& w : r.wakeups) {
+        if (w.hardware == "CPU") return w.actual;
+      }
+      return 0.0;
+    };
+    t.add_row({str_format("%zu", n),
+               str_format("%.1f", exact.energy.total().joules_f()),
+               str_format("%.1f", native.energy.total().joules_f()),
+               str_format("%.1f", simty.energy.total().joules_f()),
+               percent(1.0 - simty.energy.total().ratio(native.energy.total())),
+               str_format("%.0f", cpu(native)), str_format("%.0f", cpu(simty))});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 4: the wakeup breakdown — per hardware component, the
+// observed number of wakeups/on-cycles over the expected number had no
+// alignment been applied. Paper expectations (shape): SIMTY slashes CPU
+// wakeups to roughly a quarter of NATIVE's (733->193 light, 981->259
+// heavy); per-component on-cycles under SIMTY approach the floor set by the
+// smallest static repeating interval wakelocking that hardware; expected
+// totals are smaller under SIMTY because dynamic repeating alarms fire less
+// often when postponed.
+
+#include <cstdio>
+
+#include "exp/experiment.hpp"
+#include "exp/reporting.hpp"
+
+using namespace simty;
+
+int main() {
+  const int kReps = 3;
+  auto run = [&](exp::PolicyKind policy, exp::WorkloadKind workload) {
+    exp::ExperimentConfig c;
+    c.policy = policy;
+    c.workload = workload;
+    return exp::run_repeated(c, kReps);
+  };
+
+  std::vector<exp::NamedResult> columns;
+  columns.push_back({"L-NATIVE", run(exp::PolicyKind::kNative, exp::WorkloadKind::kLight)});
+  columns.push_back({"L-SIMTY", run(exp::PolicyKind::kSimty, exp::WorkloadKind::kLight)});
+  columns.push_back({"H-NATIVE", run(exp::PolicyKind::kNative, exp::WorkloadKind::kHeavy)});
+  columns.push_back({"H-SIMTY", run(exp::PolicyKind::kSimty, exp::WorkloadKind::kHeavy)});
+
+  std::printf("%s\n", exp::render_wakeup_table(columns).c_str());
+
+  // Least-required-wakeups analysis (§4.2): the per-component floor is the
+  // horizon divided by the smallest static ReIn wakelocking that hardware.
+  std::printf("Least-required floors over 3 h: accelerometer 10800/60 = 180, "
+              "WPS 10800/180 = 60, speaker&vibrator 10800/900 = 12\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Location-tracking scenario: the heavy workload's WPS apps are where
+// hardware similarity earns its keep — a WPS fix costs ~3.65 J, and
+// piggybacking several trackers onto one fix nearly divides the bill by
+// the number of trackers. This example zooms into the per-component energy
+// and the WPS on-cycle counts under NATIVE vs SIMTY.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+
+using namespace simty;
+
+int main() {
+  auto run = [](exp::PolicyKind policy) {
+    exp::ExperimentConfig c;
+    c.policy = policy;
+    c.workload = exp::WorkloadKind::kHeavy;
+    return exp::run_repeated(c, 3);
+  };
+  std::printf("heavy workload (18 apps incl. 3 WPS trackers), 3 h x 3 seeds...\n\n");
+  const exp::RunResult native = run(exp::PolicyKind::kNative);
+  const exp::RunResult simty = run(exp::PolicyKind::kSimty);
+
+  TextTable t("Per-component energy (J) and on-cycles");
+  t.set_header({"Component", "NATIVE J", "SIMTY J", "NATIVE cycles", "SIMTY cycles"});
+  const struct {
+    const char* label;
+    hw::Component c;
+    const char* row;
+  } kRows[] = {
+      {"Wi-Fi", hw::Component::kWifi, "Wi-Fi"},
+      {"WPS", hw::Component::kWps, "WPS"},
+      {"Accelerometer", hw::Component::kAccelerometer, "Accelerometer"},
+  };
+  for (const auto& row : kRows) {
+    auto cycles = [&](const exp::RunResult& r) {
+      for (const auto& w : r.wakeups) {
+        if (w.hardware == row.row) return w.actual;
+      }
+      return 0.0;
+    };
+    const auto idx = static_cast<std::size_t>(row.c);
+    t.add_row({row.label,
+               str_format("%.1f", native.energy.per_component[idx].joules_f()),
+               str_format("%.1f", simty.energy.per_component[idx].joules_f()),
+               str_format("%.0f", cycles(native)), str_format("%.0f", cycles(simty))});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("WPS floor: the smallest static tracker interval is 180 s, so 3 h\n"
+              "of standby needs at least 10800/180 = 60 fixes; SIMTY runs at the\n"
+              "floor while NATIVE pays for every tracker separately most of the\n"
+              "time. Total: %.1f J (NATIVE) vs %.1f J (SIMTY), %s saved.\n",
+              native.energy.total().joules_f(), simty.energy.total().joules_f(),
+              percent(1.0 - simty.energy.total().ratio(native.energy.total())).c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// A complete simulated day: the heavy standby workload PLUS real
+// interactive sessions (screen-on periods sampled from a daily usage
+// pattern), in one 24-hour discrete-event run — the ref [9] context with
+// everything interleaving: alarms align between sessions, non-wakeup
+// housekeeping rides whatever wakes the device first.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hw/battery.hpp"
+#include "usage/interactive.hpp"
+
+using namespace simty;
+
+int main() {
+  usage::UsagePattern pattern;
+  const hw::Battery pack = hw::Battery::nexus5();
+
+  std::printf("simulating 24 h (heavy workload + sampled usage day)...\n\n");
+  TextTable t("One mixed day, NATIVE vs SIMTY (same sampled sessions)");
+  t.set_header({"Policy", "total (kJ)", "screen-on", "sessions", "wakeups",
+                "non-wakeup rides", "battery (days)"});
+  for (const exp::PolicyKind policy :
+       {exp::PolicyKind::kNative, exp::PolicyKind::kSimty}) {
+    exp::ExperimentConfig c;
+    c.policy = policy;
+    c.workload = exp::WorkloadKind::kHeavy;
+    const usage::MixedDayResult day = usage::simulate_day_mixed(c, pattern, 1);
+    t.add_row({exp::to_string(policy),
+               str_format("%.2f", day.energy.total().joules_f() / 1000.0),
+               str_format("%.0f min", day.screen_on_time.seconds_f() / 60.0),
+               str_format("%llu", static_cast<unsigned long long>(day.sessions)),
+               str_format("%llu", static_cast<unsigned long long>(day.wakeups)),
+               str_format("%.0f", day.nonwakeup_deliveries),
+               str_format("%.2f", day.battery_days(pack.capacity()))});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("The screen-on half of the day is identical under both policies;\n"
+              "every saved joule comes from the standby gaps between sessions.\n");
+  return 0;
+}

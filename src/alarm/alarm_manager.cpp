@@ -1,0 +1,430 @@
+#include "alarm/alarm_manager.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace simty::alarm {
+
+AlarmManager::AlarmManager(sim::Simulator& sim, hw::Device& device, hw::Rtc& rtc,
+                           hw::WakelockManager& wakelocks,
+                           std::unique_ptr<AlignmentPolicy> policy)
+    : sim_(sim), device_(device), rtc_(rtc), wakelocks_(wakelocks),
+      policy_(std::move(policy)) {
+  SIMTY_CHECK(policy_ != nullptr);
+  device_.add_wake_listener([this](hw::WakeReason r) { on_device_wake(r); });
+}
+
+AlarmId AlarmManager::register_alarm(AlarmSpec spec, TimePoint first_nominal,
+                                     DeliveryHandler handler) {
+  spec.validate();
+  SIMTY_CHECK(static_cast<bool>(handler));
+  SIMTY_CHECK_MSG(first_nominal >= sim_.now(),
+                  "alarm nominal time must not be in the past");
+  const AlarmId id{next_id_++};
+  auto alarm = std::make_unique<Alarm>(id, std::move(spec), first_nominal);
+  Alarm* raw = alarm.get();
+  registry_.emplace(id.value, Registered{std::move(alarm), std::move(handler)});
+  ++stats_.registrations;
+  insert(raw);
+  return id;
+}
+
+void AlarmManager::set(AlarmId id, TimePoint nominal) {
+  const auto it = registry_.find(id.value);
+  SIMTY_CHECK_MSG(it != registry_.end(), "set: unknown alarm");
+  SIMTY_CHECK_MSG(nominal >= sim_.now(), "set: nominal time in the past");
+  remove_from_queue(id);
+  it->second.alarm->reschedule(nominal);
+  insert(it->second.alarm.get());
+}
+
+void AlarmManager::cancel(AlarmId id) {
+  const auto it = registry_.find(id.value);
+  SIMTY_CHECK_MSG(it != registry_.end(), "cancel: unknown alarm");
+  remove_from_queue(id);
+  registry_.erase(it);
+  reprogram_rtc();
+  schedule_nonwakeup_check();
+}
+
+std::size_t AlarmManager::cancel_by_tag(const std::string& prefix) {
+  std::vector<AlarmId> victims;
+  for (const auto& [id, reg] : registry_) {
+    if (reg.alarm->spec().tag.rfind(prefix, 0) == 0) {
+      victims.push_back(AlarmId{id});
+    }
+  }
+  for (const AlarmId id : victims) cancel(id);
+  return victims.size();
+}
+
+void AlarmManager::set_policy(std::unique_ptr<AlignmentPolicy> policy) {
+  SIMTY_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+  rebatch_all();
+}
+
+void AlarmManager::rebatch_all() {
+  // Pull every queued alarm out, then reinsert in nominal order under the
+  // current policy — Android's rebatchAllAlarms.
+  std::vector<Alarm*> alarms;
+  for (auto& q : queues_) {
+    for (const auto& batch : q) {
+      for (Alarm* a : batch->members()) alarms.push_back(a);
+    }
+    q.clear();
+  }
+  std::sort(alarms.begin(), alarms.end(), [](const Alarm* x, const Alarm* y) {
+    return x->nominal() < y->nominal();
+  });
+  ++stats_.realignments;
+  for (Alarm* a : alarms) insert(a);
+  reprogram_rtc();
+  schedule_nonwakeup_check();
+}
+
+bool AlarmManager::is_registered(AlarmId id) const {
+  return registry_.contains(id.value);
+}
+
+const Alarm* AlarmManager::find(AlarmId id) const {
+  const auto it = registry_.find(id.value);
+  return it == registry_.end() ? nullptr : it->second.alarm.get();
+}
+
+void AlarmManager::add_delivery_observer(DeliveryObserver observer) {
+  SIMTY_CHECK(static_cast<bool>(observer));
+  observers_.push_back(std::move(observer));
+}
+
+void AlarmManager::add_session_observer(SessionObserver observer) {
+  SIMTY_CHECK(static_cast<bool>(observer));
+  session_observers_.push_back(std::move(observer));
+}
+
+void AlarmManager::set_delivery_gate(DeliveryGate gate) {
+  delivery_gate_ = std::move(gate);
+  reprogram_rtc();
+}
+
+const std::vector<std::unique_ptr<Batch>>& AlarmManager::queue(AlarmKind kind) const {
+  return queues_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<std::unique_ptr<Batch>>& AlarmManager::queue_ref(AlarmKind kind) {
+  return queues_[static_cast<std::size_t>(kind)];
+}
+
+void AlarmManager::insert(Alarm* a) {
+  auto& q = queue_ref(a->spec().kind);
+  const std::optional<std::size_t> slot = policy_->select_batch(*a, q);
+  if (slot) {
+    SIMTY_CHECK(*slot < q.size());
+    q[*slot]->add(a);
+    SIMTY_CHECK_MSG(!q[*slot]->grace_interval().is_empty(),
+                    "policy joined an entry with no grace overlap");
+  } else {
+    q.push_back(std::make_unique<Batch>(a));
+  }
+  sort_queue(a->spec().kind);
+  if (a->spec().kind == AlarmKind::kWakeup) {
+    reprogram_rtc();
+  } else {
+    schedule_nonwakeup_check();
+  }
+}
+
+bool AlarmManager::remove_from_queue(AlarmId id) {
+  for (auto& q : queues_) {
+    const auto it = std::find_if(q.begin(), q.end(), [&](const auto& b) {
+      return b->contains(id);
+    });
+    if (it == q.end()) continue;
+
+    // Realignment (§2.1): pull the whole entry out and reinsert the other
+    // members in nominal order; the caller reinserts the target alarm.
+    std::unique_ptr<Batch> batch = std::move(*it);
+    q.erase(it);
+    batch->remove(id);
+    if (!batch->empty()) {
+      ++stats_.realignments;
+      std::vector<Alarm*> members = batch->members();
+      std::sort(members.begin(), members.end(), [](const Alarm* x, const Alarm* y) {
+        return x->nominal() < y->nominal();
+      });
+      for (Alarm* m : members) insert(m);
+    }
+    reprogram_rtc();
+    schedule_nonwakeup_check();
+    return true;
+  }
+  return false;
+}
+
+void AlarmManager::sort_queue(AlarmKind kind) {
+  auto& q = queue_ref(kind);
+  std::stable_sort(q.begin(), q.end(), [](const auto& x, const auto& y) {
+    return x->delivery_time() < y->delivery_time();
+  });
+}
+
+void AlarmManager::reprogram_rtc() {
+  const auto& q = queue(AlarmKind::kWakeup);
+  if (q.empty()) {
+    rtc_.clear();
+    return;
+  }
+  TimePoint head = std::max(q.front()->delivery_time(), sim_.now());
+  if (delivery_gate_) {
+    const TimePoint gated = delivery_gate_(head);
+    SIMTY_CHECK_MSG(gated >= head, "delivery gate must not advance wakeups");
+    head = gated;
+  }
+  if (rtc_.programmed() == head) return;
+  rtc_.program(head, [this] { deliver_due(AlarmKind::kWakeup); });
+}
+
+void AlarmManager::schedule_nonwakeup_check() {
+  if (nonwakeup_check_) {
+    sim_.cancel(*nonwakeup_check_);
+    nonwakeup_check_.reset();
+  }
+  // Non-wakeup alarms are only delivered while the device is awake for some
+  // other reason (§2.1).
+  if (device_.state() != hw::DeviceState::kAwake) return;
+  const auto& q = queue(AlarmKind::kNonWakeup);
+  if (q.empty()) return;
+  const TimePoint head = std::max(q.front()->delivery_time(), sim_.now());
+  nonwakeup_check_ = sim_.schedule_at(
+      head,
+      [this] {
+        nonwakeup_check_.reset();
+        if (device_.state() == hw::DeviceState::kAwake) {
+          deliver_due(AlarmKind::kNonWakeup);
+        }
+      },
+      sim::EventPriority::kFramework, "nonwakeup-check");
+}
+
+void AlarmManager::deliver_due(AlarmKind kind) {
+  auto& q = queue_ref(kind);
+  const TimePoint now = sim_.now();
+  while (!q.empty() && q.front()->delivery_time() <= now) {
+    std::unique_ptr<Batch> batch = std::move(q.front());
+    q.erase(q.begin());
+    deliver_batch(std::move(batch));
+  }
+  if (kind == AlarmKind::kWakeup) {
+    // The device is awake right now: flush any due non-wakeup work too.
+    deliver_due(AlarmKind::kNonWakeup);
+    reprogram_rtc();
+  }
+  schedule_nonwakeup_check();
+}
+
+void AlarmManager::deliver_batch(std::unique_ptr<Batch> batch) {
+  SIMTY_CHECK(device_.state() == hw::DeviceState::kAwake);
+  const TimePoint now = sim_.now();
+  ++stats_.batches_delivered;
+
+  // The framework holds a CPU wakelock for the whole joint session.
+  device_.acquire_cpu_lock();
+
+  // Per-component serialization chains: the first task's hold starts now;
+  // each successor starts after serial_fraction of its predecessor's hold
+  // (0 = perfect piggybacking, 1 = fully serialized).
+  std::array<Duration, hw::kComponentCount> chain_offset{};
+  const hw::PowerModel& pm = device_.power_model();
+  Duration session_busy = Duration::zero();
+
+  SessionRecord session;
+  session.start = now;
+  session.caused_wakeup = device_.wakeup_count() != last_seen_wakeups_;
+  last_seen_wakeups_ = device_.wakeup_count();
+
+  for (Alarm* a : batch->members()) {
+    const auto reg_it = registry_.find(a->id().value);
+    SIMTY_CHECK_MSG(reg_it != registry_.end(), "delivering unregistered alarm");
+    const bool was_perceptible = a->perceptible();
+
+    // App code may throw (the real framework survives crashing receivers);
+    // a failed handler degrades to an empty task and the alarm keeps its
+    // schedule — the crash must not take down the other batch members.
+    TaskSpec task;
+    try {
+      task = reg_it->second.handler(*a, now);
+    } catch (const std::exception& e) {
+      ++stats_.handler_failures;
+      task = TaskSpec{};
+      SIMTY_WARN(str_format("handler for %s threw: %s", a->spec().tag.c_str(),
+                            e.what()));
+    }
+    SIMTY_CHECK_MSG(!task.hold.is_negative(), "task hold must be >= 0");
+
+    // Stagger this task's wakelocks on each component's chain.
+    Duration task_end = Duration::zero();
+    for (const hw::Component c : task.hardware.components()) {
+      const auto ci = static_cast<std::size_t>(c);
+      const Duration start = chain_offset[ci];
+      const Duration end = start + task.hold;
+      task_end = std::max(task_end, end);
+      chain_offset[ci] = start + pm.component(c).serial_fraction * task.hold;
+
+      sim_.schedule_at(
+          now + start,
+          [this, c, tag = a->spec().tag, hold = task.hold] {
+            const hw::WakelockId lock = wakelocks_.acquire(c, tag);
+            // try_release: a WakelockGuardian may have revoked the lock.
+            sim_.schedule_after(hold,
+                                [this, lock] { wakelocks_.try_release(lock); },
+                                sim::EventPriority::kFramework, "wakelock-release");
+          },
+          sim::EventPriority::kFramework, "wakelock-acquire");
+    }
+    session_busy = std::max(session_busy, task_end);
+
+    ++stats_.deliveries;
+    a->record_delivery(task.hardware, task.hold);
+
+    DeliveryRecord record;
+    record.id = a->id();
+    record.tag = a->spec().tag;
+    record.app = a->spec().app;
+    record.kind = a->spec().kind;
+    record.mode = a->spec().mode;
+    record.repeat_interval = a->spec().repeat_interval;
+    record.nominal = a->nominal();
+    record.delivered = now;
+    record.window = a->window_interval();
+    record.was_perceptible = was_perceptible;
+    record.hardware_used = task.hardware;
+    record.hold = task.hold;
+    record.batch_size = batch->size();
+    for (const DeliveryObserver& obs : observers_) obs(record);
+    session.items.push_back(
+        SessionItem{a->id(), a->spec().app, a->spec().tag, task.hardware, task.hold});
+
+    // Reinsertion of repeating alarms (§2.1): static repeating stays on its
+    // nominal grid; dynamic repeating is re-anchored at the delivery time.
+    switch (a->spec().mode) {
+      case RepeatMode::kOneShot:
+        registry_.erase(a->id().value);
+        break;
+      case RepeatMode::kStatic: {
+        TimePoint next = a->nominal() + a->spec().repeat_interval;
+        while (next < now) next += a->spec().repeat_interval;
+        a->reschedule(next);
+        insert(a);
+        break;
+      }
+      case RepeatMode::kDynamic:
+        a->reschedule(now + a->spec().repeat_interval);
+        insert(a);
+        break;
+    }
+  }
+
+  // Hold the CPU until every task completes, at least the handler floor.
+  const Duration cpu_span = std::max(session_busy, pm.handler_floor);
+  sim_.schedule_after(cpu_span, [this] { device_.release_cpu_lock(); },
+                      sim::EventPriority::kFramework, "session-end");
+
+  session.cpu_session = cpu_span;
+  for (const SessionObserver& obs : session_observers_) obs(session);
+}
+
+std::string AlarmManager::dump() const {
+  std::string out = str_format("AlarmManager[%s] t=%.3fs alarms=%zu\n",
+                               policy_->name().c_str(), sim_.now().seconds_f(),
+                               registry_.size());
+  for (const AlarmKind kind : {AlarmKind::kWakeup, AlarmKind::kNonWakeup}) {
+    const auto& q = queue(kind);
+    out += str_format("  %s queue: %zu entries\n", to_string(kind), q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const Batch& b = *q[i];
+      out += str_format(
+          "    [%zu] deliver=%.3fs %s window=%s grace=%s hw=%s\n", i,
+          b.delivery_time().seconds_f(),
+          b.perceptible() ? "perceptible" : "imperceptible",
+          b.window_interval().to_string().c_str(),
+          b.grace_interval().to_string().c_str(), b.hardware().to_string().c_str());
+      for (const Alarm* a : b.members()) {
+        out += "      " + a->to_string() + "\n";
+      }
+    }
+  }
+  if (rtc_.programmed()) {
+    out += str_format("  rtc: programmed at %.3fs\n", rtc_.programmed()->seconds_f());
+  } else {
+    out += "  rtc: idle\n";
+  }
+  return out;
+}
+
+std::vector<std::string> AlarmManager::check_invariants() const {
+  std::vector<std::string> issues;
+  std::map<std::uint64_t, int> seen;
+  for (const AlarmKind kind : {AlarmKind::kWakeup, AlarmKind::kNonWakeup}) {
+    const auto& q = queue(kind);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const Batch& b = *q[i];
+      if (b.empty()) {
+        issues.push_back(str_format("%s[%zu]: empty batch", to_string(kind), i));
+        continue;
+      }
+      if (i > 0 && q[i - 1]->delivery_time() > b.delivery_time()) {
+        issues.push_back(str_format("%s[%zu]: queue out of order", to_string(kind), i));
+      }
+      if (b.grace_interval().is_empty()) {
+        issues.push_back(str_format("%s[%zu]: empty grace overlap", to_string(kind), i));
+      }
+      if (b.perceptible() && b.window_interval().is_empty()) {
+        issues.push_back(
+            str_format("%s[%zu]: perceptible entry without window overlap",
+                       to_string(kind), i));
+      }
+      for (const Alarm* a : b.members()) {
+        ++seen[a->id().value];
+        if (!registry_.contains(a->id().value)) {
+          issues.push_back("queued alarm not registered: " + a->spec().tag);
+        }
+        if (a->spec().kind != kind) {
+          issues.push_back("alarm in wrong-kind queue: " + a->spec().tag);
+        }
+      }
+    }
+  }
+  for (const auto& [id, count] : seen) {
+    if (count > 1) {
+      issues.push_back(str_format("alarm %llu queued %d times",
+                                  static_cast<unsigned long long>(id), count));
+    }
+  }
+  const auto& wq = queue(AlarmKind::kWakeup);
+  if (!wq.empty()) {
+    if (!rtc_.programmed()) {
+      // Legal transient: the RTC already fired for the head batch and the
+      // wake transition (or the delivery session) is still in flight; the
+      // queue drains and the RTC is reprogrammed when it completes.
+      if (device_.state() == hw::DeviceState::kAsleep &&
+          wq.front()->delivery_time() > sim_.now()) {
+        issues.push_back("wakeup queue non-empty but RTC idle");
+      }
+    } else if (*rtc_.programmed() <
+               std::min(wq.front()->delivery_time(), sim_.now())) {
+      issues.push_back("RTC programmed before the head's delivery time");
+    }
+  }
+  return issues;
+}
+
+void AlarmManager::on_device_wake(hw::WakeReason) {
+  // Whatever woke the device, due non-wakeup alarms can now be delivered
+  // (§2.1: "postponed to the next time that the device is woken").
+  deliver_due(AlarmKind::kNonWakeup);
+}
+
+}  // namespace simty::alarm

@@ -1,0 +1,206 @@
+#pragma once
+// The alarm manager: registration, batching, RTC programming, delivery,
+// and wakeup-session execution (Figure 1 of the paper).
+//
+// Queue mechanics common to every policy live here: alarms are queued in
+// entries (batches) in increasing delivery-time order; wakeup and
+// non-wakeup alarms are managed in separate queues (§2.1/§3.2.1); when an
+// alarm that is still queued is re-registered, its entry is dissolved and
+// all members are reinserted in nominal order (the realignment rule);
+// repeating alarms are reinserted immediately after delivery — at
+// nominal + ReIn for static repeating, at delivery-time + ReIn for dynamic
+// repeating. The plugged AlignmentPolicy only chooses which entry a new
+// alarm joins.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm.hpp"
+#include "alarm/batch.hpp"
+#include "alarm/policy.hpp"
+#include "hw/device.hpp"
+#include "hw/rtc.hpp"
+#include "hw/wakelock.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::alarm {
+
+/// What an alarm's task does once delivered: which components it wakelocks
+/// and for how long. An empty set with zero hold is a CPU-only handler.
+struct TaskSpec {
+  hw::ComponentSet hardware;
+  Duration hold = Duration::zero();
+};
+
+/// App-side behaviour invoked at delivery; returns the task to execute.
+using DeliveryHandler = std::function<TaskSpec(const Alarm&, TimePoint delivered_at)>;
+
+/// Everything observers need to compute the paper's metrics for one
+/// delivered alarm.
+struct DeliveryRecord {
+  AlarmId id;
+  std::string tag;
+  AppId app;
+  AlarmKind kind = AlarmKind::kWakeup;
+  RepeatMode mode = RepeatMode::kOneShot;
+  Duration repeat_interval = Duration::zero();
+  TimePoint nominal;
+  TimePoint delivered;
+  TimeInterval window = TimeInterval::empty();
+  bool was_perceptible = false;       // classification at delivery time
+  hw::ComponentSet hardware_used;
+  Duration hold = Duration::zero();
+  std::size_t batch_size = 0;
+};
+
+using DeliveryObserver = std::function<void(const DeliveryRecord&)>;
+
+/// One alarm's task inside a joint delivery session.
+struct SessionItem {
+  AlarmId id;
+  AppId app;
+  std::string tag;
+  hw::ComponentSet hardware;
+  Duration hold = Duration::zero();
+};
+
+/// One joint delivery session (one batch executed on the device), as needed
+/// for per-app energy attribution.
+struct SessionRecord {
+  TimePoint start;
+  Duration cpu_session = Duration::zero();  // CPU wakelock span
+  bool caused_wakeup = false;  // first session after a sleep->awake cycle
+  std::vector<SessionItem> items;
+};
+
+using SessionObserver = std::function<void(const SessionRecord&)>;
+
+/// Hook consulted when programming the RTC for the head entry: may defer
+/// the proposed wakeup further (never earlier). The lever behind doze-style
+/// maintenance windows, which quantize ALL wakeups regardless of windows —
+/// unlike alignment policies, a gate may break the §3.2.2 guarantees; the
+/// interval audit quantifies the damage.
+using DeliveryGate = std::function<TimePoint(TimePoint proposed)>;
+
+/// Central wakeup management (the paper's modified AlarmManagerService).
+class AlarmManager {
+ public:
+  struct Stats {
+    std::uint64_t registrations = 0;
+    std::uint64_t deliveries = 0;          // individual alarm deliveries
+    std::uint64_t batches_delivered = 0;   // joint delivery sessions
+    std::uint64_t realignments = 0;        // dissolve-and-reinsert events
+    std::uint64_t handler_failures = 0;    // app handlers that threw
+  };
+
+  /// All dependencies must outlive the manager.
+  AlarmManager(sim::Simulator& sim, hw::Device& device, hw::Rtc& rtc,
+               hw::WakelockManager& wakelocks,
+               std::unique_ptr<AlignmentPolicy> policy);
+
+  AlarmManager(const AlarmManager&) = delete;
+  AlarmManager& operator=(const AlarmManager&) = delete;
+
+  /// Registers an alarm and queues its first instance at `first_nominal`
+  /// (must be >= now). `handler` runs at each delivery.
+  AlarmId register_alarm(AlarmSpec spec, TimePoint first_nominal,
+                         DeliveryHandler handler);
+
+  /// Re-registers a queued alarm at a new nominal time. If the alarm is
+  /// still queued, its entry is dissolved and every member reinserted in
+  /// nominal order (§2.1's realignment rule).
+  void set(AlarmId id, TimePoint nominal);
+
+  /// Cancels and removes an alarm entirely.
+  void cancel(AlarmId id);
+
+  /// Cancels every alarm whose tag starts with `prefix` (Android cancels
+  /// by matching intent; tags play that role here). Returns the count.
+  std::size_t cancel_by_tag(const std::string& prefix);
+
+  /// Swaps the alignment policy at runtime and rebatches every queued
+  /// alarm under it (the rebatchAllAlarms analogue). Enables adaptive
+  /// policy switching, e.g. NATIVE while charged, SIMTY when low.
+  void set_policy(std::unique_ptr<AlignmentPolicy> policy);
+
+  /// Dissolves every entry and reinserts all alarms in nominal order under
+  /// the current policy.
+  void rebatch_all();
+
+  bool is_registered(AlarmId id) const;
+  const Alarm* find(AlarmId id) const;
+
+  /// Registers a callback for every alarm delivery.
+  void add_delivery_observer(DeliveryObserver observer);
+
+  /// Registers a callback for every joint delivery session.
+  void add_session_observer(SessionObserver observer);
+
+  /// Installs (or clears, with nullptr-like default) the delivery gate.
+  void set_delivery_gate(DeliveryGate gate);
+
+  const AlignmentPolicy& policy() const { return *policy_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Read-only view of a batch queue (sorted by delivery time).
+  const std::vector<std::unique_ptr<Batch>>& queue(AlarmKind kind) const;
+
+  /// Human-readable state dump (in the spirit of `dumpsys alarm`): both
+  /// queues, every entry's attributes, and every member alarm.
+  std::string dump() const;
+
+  /// Verifies internal invariants; returns human-readable violations
+  /// (empty = healthy). Checked invariants: queues sorted by delivery
+  /// time; every queued alarm registered and queued exactly once; no empty
+  /// batches; grace overlap non-empty in every entry; perceptible entries
+  /// have non-empty window overlap; RTC programmed to the wakeup head.
+  std::vector<std::string> check_invariants() const;
+
+ private:
+  struct Registered {
+    std::unique_ptr<Alarm> alarm;
+    DeliveryHandler handler;
+  };
+
+  std::vector<std::unique_ptr<Batch>>& queue_ref(AlarmKind kind);
+
+  /// Places an alarm via the policy, keeps the queue sorted, reprograms.
+  void insert(Alarm* a);
+
+  /// Removes `id` from its queue if present; dissolves the entry and
+  /// reinserts the remaining members in nominal order. Returns true if the
+  /// alarm was queued.
+  bool remove_from_queue(AlarmId id);
+
+  void sort_queue(AlarmKind kind);
+  void reprogram_rtc();
+  void schedule_nonwakeup_check();
+
+  /// Delivers every due batch in `kind`'s queue (device must be awake).
+  void deliver_due(AlarmKind kind);
+
+  void deliver_batch(std::unique_ptr<Batch> batch);
+  void on_device_wake(hw::WakeReason reason);
+
+  sim::Simulator& sim_;
+  hw::Device& device_;
+  hw::Rtc& rtc_;
+  hw::WakelockManager& wakelocks_;
+  std::unique_ptr<AlignmentPolicy> policy_;
+
+  std::map<std::uint64_t, Registered> registry_;
+  std::vector<std::unique_ptr<Batch>> queues_[2];
+  std::vector<DeliveryObserver> observers_;
+  std::vector<SessionObserver> session_observers_;
+  DeliveryGate delivery_gate_;
+  std::optional<sim::EventId> nonwakeup_check_;
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t last_seen_wakeups_ = 0;
+};
+
+}  // namespace simty::alarm

@@ -1,0 +1,20 @@
+#include "alarm/duration_policy.hpp"
+
+#include <algorithm>
+
+namespace simty::alarm {
+
+double duration_similarity(Duration a, Duration b) {
+  if (a <= Duration::zero() || b <= Duration::zero()) return 0.0;
+  const auto lo = static_cast<double>(std::min(a.us(), b.us()));
+  const auto hi = static_cast<double>(std::max(a.us(), b.us()));
+  return lo / hi;
+}
+
+bool DurationSimtyPolicy::prefers_over(const Alarm& alarm, const Batch& candidate,
+                                       const Batch& incumbent) const {
+  return duration_similarity(alarm.expected_hold(), candidate.expected_hold()) >
+         duration_similarity(alarm.expected_hold(), incumbent.expected_hold());
+}
+
+}  // namespace simty::alarm

@@ -1,0 +1,39 @@
+#include "alarm/fixed_interval_policy.hpp"
+
+#include "alarm/similarity.hpp"
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace simty::alarm {
+
+FixedIntervalPolicy::FixedIntervalPolicy(Duration interval) : interval_(interval) {
+  SIMTY_CHECK_MSG(interval_ > Duration::zero(),
+                  "fixed alignment interval must be positive");
+}
+
+std::string FixedIntervalPolicy::name() const {
+  return str_format("FIXED-%s", interval_.to_string().c_str());
+}
+
+std::int64_t FixedIntervalPolicy::slot_of(TimePoint t) const {
+  return t.us() / interval_.us();
+}
+
+std::optional<std::size_t> FixedIntervalPolicy::select_batch(
+    const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue) const {
+  const std::int64_t slot = slot_of(alarm.nominal());
+  const TimeInterval window = alarm.window_interval();
+  const TimeInterval grace = alarm.grace_interval();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const Batch& entry = *queue[i];
+    if (slot_of(entry.delivery_time()) != slot) continue;
+    // Guard rails: never break the delivery guarantees while batching
+    // within the slot.
+    const SimilarityLevel time = time_similarity(
+        window, grace, entry.window_interval(), entry.grace_interval());
+    if (is_applicable(time, alarm.perceptible(), entry.perceptible())) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace simty::alarm

@@ -1,0 +1,34 @@
+#pragma once
+// Alignment-policy interface.
+//
+// The alarm manager owns the queue mechanics that the paper describes as
+// common to NATIVE and SIMTY (remove-same-alarm, dissolve-and-reinsert,
+// wakeup/non-wakeup separation); a policy only answers one question: which
+// existing entry, if any, should a new alarm join?
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm.hpp"
+#include "alarm/batch.hpp"
+
+namespace simty::alarm {
+
+/// Strategy deciding where an alarm lands in the batch queue.
+class AlignmentPolicy {
+ public:
+  virtual ~AlignmentPolicy() = default;
+
+  /// Display name, e.g. "NATIVE", "SIMTY".
+  virtual std::string name() const = 0;
+
+  /// Returns the index (into `queue`, which is sorted by delivery time) of
+  /// the entry the alarm should join, or nullopt to create a new entry.
+  virtual std::optional<std::size_t> select_batch(
+      const Alarm& alarm,
+      const std::vector<std::unique_ptr<Batch>>& queue) const = 0;
+};
+
+}  // namespace simty::alarm

@@ -1,0 +1,46 @@
+#include "alarm/simty_policy.hpp"
+
+namespace simty::alarm {
+
+SimtyPolicy::SimtyPolicy(SimilarityConfig config) : config_(config) {}
+
+std::optional<std::size_t> SimtyPolicy::select_batch(
+    const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue) const {
+  const TimeInterval window = alarm.window_interval();
+  const TimeInterval grace = alarm.grace_interval();
+  const bool alarm_perceptible = alarm.perceptible();
+
+  std::optional<std::size_t> best;
+  int best_rank = 0;
+
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const Batch& entry = *queue[i];
+
+    // Search phase: applicability in terms of user experience (§3.2.1).
+    SimilarityLevel time = time_similarity(
+        window, grace, entry.window_interval(), entry.grace_interval());
+    if (config_.time_mode == TimeSimilarityMode::kWindowOnly &&
+        time == SimilarityLevel::kMedium) {
+      time = SimilarityLevel::kLow;  // no grace credit in window-only mode
+    }
+    if (!is_applicable(time, alarm_perceptible, entry.perceptible())) continue;
+
+    // Selection phase: Table 1 preferability, hardware similarity first.
+    const int hw_grade = hardware_grade(alarm.hardware(), entry.hardware(), config_);
+    const int rank = preferability_rank(hw_grade, time);
+
+    if (!best || rank < best_rank ||
+        (rank == best_rank && prefers_over(alarm, entry, *queue[*best]))) {
+      best = i;
+      best_rank = rank;
+    }
+  }
+  return best;
+}
+
+bool SimtyPolicy::prefers_over(const Alarm&, const Batch&, const Batch&) const {
+  // First-found wins ties, as in the paper.
+  return false;
+}
+
+}  // namespace simty::alarm

@@ -1,0 +1,88 @@
+#include "apps/app_catalog.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace simty::apps {
+
+namespace {
+
+using alarm::RepeatMode;
+using hw::Component;
+using hw::ComponentSet;
+
+AppProfile row(std::string name, std::int64_t rein_s, double alpha, RepeatMode mode,
+               ComponentSet hardware, double hold_s, double jitter, bool in_light,
+               bool irregular, std::uint64_t payload_bytes = 0) {
+  AppProfile p;
+  p.name = std::move(name);
+  p.repeat = Duration::seconds(rein_s);
+  p.alpha = alpha;
+  p.mode = mode;
+  p.hardware = hardware;
+  p.base_hold = Duration::from_seconds(hold_s);
+  p.hold_jitter = jitter;
+  p.in_light = in_light;
+  p.irregular = irregular;
+  p.payload_bytes = payload_bytes;
+  return p;
+}
+
+const ComponentSet kWifi{Component::kWifi};
+const ComponentSet kNotify{Component::kSpeaker, Component::kVibrator};
+const ComponentSet kWps{Component::kWps};
+const ComponentSet kAccel{Component::kAccelerometer};
+
+}  // namespace
+
+std::vector<AppProfile> table3_catalog() {
+  // Name, ReIn(s), alpha, S/D, HW, hold(s), jitter, light?, irregular?
+  return {
+      row("Facebook", 60, 0.00, RepeatMode::kDynamic, kWifi, 2.0, 0.30, true, false, 200000),
+      row("imo.im", 180, 0.00, RepeatMode::kDynamic, kWifi, 1.8, 0.30, true, false, 60000),
+      row("Line", 200, 0.75, RepeatMode::kDynamic, kWifi, 2.5, 0.30, true, false, 120000),
+      row("BAND", 202, 0.00, RepeatMode::kDynamic, kWifi, 2.0, 0.30, true, false, 80000),
+      row("YeeCall", 270, 0.00, RepeatMode::kStatic, kWifi, 1.5, 0.30, true, false, 40000),
+      row("JusTalk", 300, 0.00, RepeatMode::kStatic, kWifi, 1.5, 0.30, true, false, 40000),
+      row("Weibo", 300, 0.00, RepeatMode::kDynamic, kWifi, 2.2, 0.30, true, false, 150000),
+      row("KakaoTalk", 600, 0.75, RepeatMode::kDynamic, kWifi, 2.5, 0.30, true, false, 120000),
+      row("Viber", 600, 0.75, RepeatMode::kDynamic, kWifi, 2.0, 0.30, true, false, 90000),
+      row("WeChat", 900, 0.75, RepeatMode::kDynamic, kWifi, 3.0, 0.30, true, false, 180000),
+      row("Messenger", 900, 0.75, RepeatMode::kStatic, kWifi, 2.5, 0.30, true, false, 120000),
+      // The paper's own Alarm Clock app: a 1 s speaker+vibrator notification
+      // every 30 minutes, silenced automatically.
+      row("Alarm Clock", 1800, 0.00, RepeatMode::kStatic, kNotify, 1.0, 0.00, true, false),
+      row("Drink Water", 900, 0.75, RepeatMode::kStatic, kNotify, 1.0, 0.00, false, false),
+      row("Noom Walk", 60, 0.75, RepeatMode::kStatic, kAccel, 2.0, 0.50, false, true),
+      row("Moves", 90, 0.75, RepeatMode::kStatic, kAccel, 3.0, 0.50, false, true),
+      row("FollowMee", 180, 0.75, RepeatMode::kStatic, kWps, 10.0, 0.40, false, true),
+      row("Family Locator", 300, 0.75, RepeatMode::kStatic, kWps, 10.0, 0.40, false, true),
+      row("Cell Tracker", 300, 0.75, RepeatMode::kStatic, kWps, 10.0, 0.40, false, true),
+  };
+}
+
+std::vector<AppProfile> light_workload_profiles() {
+  std::vector<AppProfile> out;
+  for (AppProfile& p : table3_catalog()) {
+    if (p.in_light) out.push_back(std::move(p));
+  }
+  SIMTY_CHECK(out.size() == 12);
+  return out;
+}
+
+std::vector<AppProfile> heavy_workload_profiles() {
+  auto out = table3_catalog();
+  SIMTY_CHECK(out.size() == 18);
+  return out;
+}
+
+AppProfile profile_by_name(const std::string& name) {
+  for (AppProfile& p : table3_catalog()) {
+    if (p.name == name) return std::move(p);
+  }
+  SIMTY_CHECK_MSG(false, "unknown app: " + name);
+  return {};
+}
+
+}  // namespace simty::apps

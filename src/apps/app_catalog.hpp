@@ -1,0 +1,25 @@
+#pragma once
+// The 18 Google Play resident apps of the paper's Table 3, with hold-time
+// behaviour filled in from the paper's measurements (WPS fixes ~10 s,
+// notifications 1 s, Wi-Fi syncs a few seconds with network-speed jitter).
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace simty::apps {
+
+/// All 18 rows of Table 3, in table order.
+std::vector<AppProfile> table3_catalog();
+
+/// The 12 apps of the light workload: the 11 Wi-Fi-only messengers plus the
+/// Alarm Clock (the single perceptible app).
+std::vector<AppProfile> light_workload_profiles();
+
+/// All 18 apps: the heavy workload.
+std::vector<AppProfile> heavy_workload_profiles();
+
+/// Looks a profile up by name; throws std::logic_error when unknown.
+AppProfile profile_by_name(const std::string& name);
+
+}  // namespace simty::apps

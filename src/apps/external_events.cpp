@@ -1,0 +1,36 @@
+#include "apps/external_events.hpp"
+
+#include <algorithm>
+
+namespace simty::apps {
+
+ExternalEventSource::ExternalEventSource(sim::Simulator& sim, hw::Device& device,
+                                         ExternalEventConfig config, Rng rng)
+    : sim_(sim), device_(device), config_(config), rng_(rng) {}
+
+void ExternalEventSource::start(TimePoint horizon) {
+  horizon_ = horizon;
+  if (config_.push_mean > Duration::zero()) {
+    spawn(hw::WakeReason::kExternalPush, config_.push_mean);
+  }
+  if (config_.button_mean > Duration::zero()) {
+    spawn(hw::WakeReason::kUserButton, config_.button_mean);
+  }
+}
+
+void ExternalEventSource::spawn(hw::WakeReason reason, Duration mean) {
+  const Duration gap = Duration::from_seconds(rng_.exponential(mean.seconds_f()));
+  const TimePoint when = sim_.now() + std::max(gap, Duration::seconds(1));
+  if (when >= horizon_) return;
+  sim_.schedule_at(
+      when,
+      [this, reason, mean] {
+        if (reason == hw::WakeReason::kExternalPush) ++pushes_;
+        else ++button_presses_;
+        device_.request_awake(reason, [] {});
+        spawn(reason, mean);
+      },
+      sim::EventPriority::kApp, "external-wake");
+}
+
+}  // namespace simty::apps

@@ -1,0 +1,49 @@
+#pragma once
+// External wake sources: GCM-style push messages and user button presses.
+//
+// The paper's standby experiments exclude human intervention, but the
+// framework supports external wakes because they are what eventually
+// delivers non-wakeup alarms (§2.1). Used by examples and tests.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "hw/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::apps {
+
+/// Poisson sources of external device wakes.
+struct ExternalEventConfig {
+  Duration push_mean = Duration::zero();    // mean gap between GCM pushes (0 = off)
+  Duration button_mean = Duration::zero();  // mean gap between button presses (0 = off)
+};
+
+/// Wakes the device at random times; the alarm manager's wake listener then
+/// flushes due non-wakeup alarms.
+class ExternalEventSource {
+ public:
+  ExternalEventSource(sim::Simulator& sim, hw::Device& device,
+                      ExternalEventConfig config, Rng rng);
+
+  ExternalEventSource(const ExternalEventSource&) = delete;
+  ExternalEventSource& operator=(const ExternalEventSource&) = delete;
+
+  void start(TimePoint horizon);
+
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t button_presses() const { return button_presses_; }
+
+ private:
+  void spawn(hw::WakeReason reason, Duration mean);
+
+  sim::Simulator& sim_;
+  hw::Device& device_;
+  ExternalEventConfig config_;
+  Rng rng_;
+  TimePoint horizon_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t button_presses_ = 0;
+};
+
+}  // namespace simty::apps

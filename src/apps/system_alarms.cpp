@@ -1,0 +1,69 @@
+#include "apps/system_alarms.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace simty::apps {
+
+SystemAlarmSource::SystemAlarmSource(sim::Simulator& sim,
+                                     alarm::AlarmManager& manager,
+                                     SystemAlarmConfig config, Rng rng)
+    : sim_(sim), manager_(manager), config_(config), rng_(rng) {}
+
+void SystemAlarmSource::start(TimePoint horizon) {
+  horizon_ = horizon;
+  const TimePoint now = sim_.now();
+
+  if (config_.periodic_services) {
+    // Representative Android services; CPU-only (no extra wakelocks), so
+    // they become imperceptible once profiled and align freely.
+    struct Service {
+      const char* tag;
+      std::int64_t repeat_s;
+    };
+    constexpr Service kServices[] = {
+        {"android.netstats.poll", 600},
+        {"android.batterystats", 900},
+        {"android.time_sync", 1200},
+        {"android.sync.heartbeat", 300},
+        {"android.job.heartbeat", 240},
+        {"android.dhcp.renew", 420},
+        {"android.backup", 1800},
+    };
+    const double grace = std::max(config_.beta, 0.75);
+    for (const Service& s : kServices) {
+      manager_.register_alarm(
+          alarm::AlarmSpec::repeating(s.tag, kSystemApp, alarm::RepeatMode::kStatic,
+                                      Duration::seconds(s.repeat_s), 0.75, grace),
+          now + Duration::seconds(s.repeat_s),
+          [](const alarm::Alarm&, TimePoint) { return alarm::TaskSpec{}; });
+    }
+  }
+
+  if (config_.one_shot_mean > Duration::zero()) spawn_next_one_shot();
+}
+
+void SystemAlarmSource::spawn_next_one_shot() {
+  const Duration gap =
+      Duration::from_seconds(rng_.exponential(config_.one_shot_mean.seconds_f()));
+  const TimePoint when = sim_.now() + std::max(gap, Duration::seconds(1));
+  if (when >= horizon_) return;
+  sim_.schedule_at(
+      when,
+      [this] {
+        ++one_shot_seq_;
+        manager_.register_alarm(
+            alarm::AlarmSpec::one_shot("system.oneshot." + std::to_string(one_shot_seq_),
+                                       kSystemApp, config_.one_shot_window),
+            sim_.now() + Duration::seconds(1),
+            [this](const alarm::Alarm&, TimePoint) {
+              ++one_shots_fired_;
+              return alarm::TaskSpec{};
+            });
+        spawn_next_one_shot();
+      },
+      sim::EventPriority::kApp, "system-one-shot-spawn");
+}
+
+}  // namespace simty::apps

@@ -1,0 +1,57 @@
+#include "apps/trace_replay.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace simty::apps {
+
+IrregularApp::IrregularApp(AppProfile profile, Rng rng)
+    : ResidentApp(std::move(profile), rng) {}
+
+alarm::TaskSpec IrregularApp::next_task() {
+  // Lognormal-ish hold: exp(N(0, sigma)) scaling of the base hold, clamped
+  // to a sane band so a single sample cannot outlast the repeat interval.
+  const double sigma = std::max(0.2, profile_.hold_jitter);
+  double factor = std::exp(rng_.normal(0.0, sigma));
+  factor = std::min(std::max(factor, 0.25), 4.0);
+  Duration hold = profile_.base_hold * factor;
+  const Duration cap = profile_.repeat * 0.5;
+  if (hold > cap) hold = cap;
+  return alarm::TaskSpec{profile_.hardware, hold};
+}
+
+ImitatedApp::ImitatedApp(AppProfile profile, AppTrace trace)
+    : ResidentApp(std::move(profile), Rng(0)), trace_(std::move(trace)) {
+  SIMTY_CHECK_MSG(!trace_.entries.empty(), "imitated app needs a non-empty trace");
+}
+
+alarm::TaskSpec ImitatedApp::next_task() {
+  const TraceEntry& e = trace_.entries[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.entries.size();
+  return alarm::TaskSpec{e.hardware, e.hold};
+}
+
+AppTrace record_trace(const AppProfile& profile, std::size_t deliveries,
+                      std::uint64_t seed) {
+  SIMTY_CHECK(deliveries > 0);
+  // A profiling pass does not need the full device stack: we sample the
+  // app's task generator directly, which is exactly what the framework
+  // hooks observed on the phone.
+  class Probe : public IrregularApp {
+   public:
+    using IrregularApp::IrregularApp;
+    alarm::TaskSpec sample() { return next_task(); }
+  };
+  Probe probe(profile, Rng(seed));
+  AppTrace trace;
+  trace.app_name = profile.name;
+  trace.entries.reserve(deliveries);
+  for (std::size_t i = 0; i < deliveries; ++i) {
+    const alarm::TaskSpec t = probe.sample();
+    trace.entries.push_back(TraceEntry{t.hardware, t.hold});
+  }
+  return trace;
+}
+
+}  // namespace simty::apps

@@ -1,0 +1,62 @@
+#pragma once
+// Trace recording and replay for the five irregular apps.
+//
+// The paper found five apps whose wakelock durations were not reproducible
+// run to run, and replaced them with "imitated apps" that replay the time
+// and hardware patterns logged in a profiling pass. We reproduce that
+// methodology: IrregularApp models the erratic original (heavy-tailed
+// holds), TraceRecorder captures its per-delivery holds, and ImitatedApp
+// replays the recorded trace verbatim — making NATIVE-vs-SIMTY comparisons
+// fair, exactly as in the paper.
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace simty::apps {
+
+/// One logged delivery of an app's major alarm.
+struct TraceEntry {
+  hw::ComponentSet hardware;
+  Duration hold;
+};
+
+/// A logged behaviour trace of one app.
+struct AppTrace {
+  std::string app_name;
+  std::vector<TraceEntry> entries;
+};
+
+/// Models an irregular original: holds follow a heavy-tailed (lognormal-
+/// like) distribution around the profile's base hold instead of the
+/// bounded uniform jitter of well-behaved apps.
+class IrregularApp : public ResidentApp {
+ public:
+  IrregularApp(AppProfile profile, Rng rng);
+
+ protected:
+  alarm::TaskSpec next_task() override;
+};
+
+/// Replays a pre-recorded trace cyclically; fully deterministic.
+class ImitatedApp : public ResidentApp {
+ public:
+  ImitatedApp(AppProfile profile, AppTrace trace);
+
+  const AppTrace& trace() const { return trace_; }
+
+ protected:
+  alarm::TaskSpec next_task() override;
+
+ private:
+  AppTrace trace_;
+  std::size_t cursor_ = 0;
+};
+
+/// Profiles an irregular app offline: samples `deliveries` tasks from an
+/// IrregularApp with the given seed and returns the logged trace. This is
+/// the "logged in advance" step of the paper's §4.1.
+AppTrace record_trace(const AppProfile& profile, std::size_t deliveries,
+                      std::uint64_t seed);
+
+}  // namespace simty::apps

@@ -1,0 +1,206 @@
+#include "cli/options.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace simty::cli {
+
+namespace {
+
+std::optional<exp::PolicyKind> parse_policy(const std::string& name) {
+  if (name == "native") return exp::PolicyKind::kNative;
+  if (name == "simty") return exp::PolicyKind::kSimty;
+  if (name == "exact") return exp::PolicyKind::kExact;
+  if (name == "simty-dur") return exp::PolicyKind::kSimtyDuration;
+  return std::nullopt;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<long long> parse_int(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+ParseResult fail(const std::string& message) {
+  return ParseResult{std::nullopt, message + " (see --help)"};
+}
+
+}  // namespace
+
+ParseResult parse_args(const std::vector<std::string>& args) {
+  RunPlan plan;
+  bool policies_set = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      plan.show_help = true;
+      return ParseResult{plan, ""};
+    }
+    if (arg == "--policy") {
+      const auto v = value();
+      if (!v) return fail("--policy needs a value");
+      if (!policies_set) {
+        plan.policies.clear();
+        policies_set = true;
+      }
+      for (const std::string& name : split(*v, ',')) {
+        if (name == "all") {
+          plan.policies = {exp::PolicyKind::kExact, exp::PolicyKind::kNative,
+                           exp::PolicyKind::kSimty, exp::PolicyKind::kSimtyDuration};
+          continue;
+        }
+        const auto p = parse_policy(name);
+        if (!p) return fail("unknown policy: " + name);
+        plan.policies.push_back(*p);
+      }
+      continue;
+    }
+    if (arg == "--workload") {
+      const auto v = value();
+      if (!v) return fail("--workload needs a value");
+      if (*v == "light") plan.config.workload = exp::WorkloadKind::kLight;
+      else if (*v == "heavy") plan.config.workload = exp::WorkloadKind::kHeavy;
+      else if (*v == "synthetic") plan.config.workload = exp::WorkloadKind::kSynthetic;
+      else return fail("unknown workload: " + *v);
+      continue;
+    }
+    if (arg == "--apps") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n <= 0) return fail("--apps needs a positive integer");
+      plan.config.synthetic_apps = static_cast<std::size_t>(*n);
+      continue;
+    }
+    if (arg == "--beta") {
+      const auto v = value();
+      const auto b = v ? parse_double(*v) : std::nullopt;
+      if (!b || *b < 0.0 || *b >= 1.0) return fail("--beta needs a value in [0, 1)");
+      plan.config.beta = *b;
+      continue;
+    }
+    if (arg == "--hours") {
+      const auto v = value();
+      const auto h = v ? parse_double(*v) : std::nullopt;
+      if (!h || *h <= 0.0) return fail("--hours needs a positive value");
+      plan.config.duration = Duration::from_seconds(*h * 3600.0);
+      continue;
+    }
+    if (arg == "--minutes") {
+      const auto v = value();
+      const auto m = v ? parse_double(*v) : std::nullopt;
+      if (!m || *m <= 0.0) return fail("--minutes needs a positive value");
+      plan.config.duration = Duration::from_seconds(*m * 60.0);
+      continue;
+    }
+    if (arg == "--seed") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 0) return fail("--seed needs a non-negative integer");
+      plan.config.seed = static_cast<std::uint64_t>(*n);
+      continue;
+    }
+    if (arg == "--reps") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n <= 0) return fail("--reps needs a positive integer");
+      plan.repetitions = static_cast<int>(*n);
+      continue;
+    }
+    if (arg == "--no-system-alarms") {
+      plan.config.system_alarms = false;
+      continue;
+    }
+    if (arg == "--doze") {
+      plan.config.doze = true;
+      continue;
+    }
+    if (arg == "--hw-levels") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n) return fail("--hw-levels needs 2, 3 or 4");
+      switch (*n) {
+        case 2:
+          plan.config.similarity.hw_mode = alarm::HardwareSimilarityMode::kTwoLevel;
+          break;
+        case 3:
+          plan.config.similarity.hw_mode = alarm::HardwareSimilarityMode::kThreeLevel;
+          break;
+        case 4:
+          plan.config.similarity.hw_mode = alarm::HardwareSimilarityMode::kFourLevel;
+          break;
+        default:
+          return fail("--hw-levels needs 2, 3 or 4");
+      }
+      continue;
+    }
+    if (arg == "--csv") {
+      const auto v = value();
+      if (!v) return fail("--csv needs a path");
+      plan.csv_path = *v;
+      continue;
+    }
+    if (arg == "--trace") {
+      const auto v = value();
+      if (!v) return fail("--trace needs a path");
+      plan.trace_path = *v;
+      continue;
+    }
+    if (arg == "--waveform") {
+      const auto v = value();
+      if (!v) return fail("--waveform needs a path");
+      plan.waveform_path = *v;
+      continue;
+    }
+    return fail("unknown flag: " + arg);
+  }
+
+  if (plan.policies.empty()) return fail("at least one --policy is required");
+  return ParseResult{plan, ""};
+}
+
+std::string usage() {
+  return
+      "simty_run — connected-standby experiments with SIMTY wakeup management\n"
+      "\n"
+      "usage: simty_run [flags]\n"
+      "  --policy P[,P...]    native|simty|exact|simty-dur|all (default native,simty)\n"
+      "  --workload W         light|heavy|synthetic (default light)\n"
+      "  --apps N             synthetic workload size (default 18)\n"
+      "  --beta F             grace factor in [0,1) (default 0.96)\n"
+      "  --hours H            standby duration (default 3)\n"
+      "  --minutes M          standby duration in minutes\n"
+      "  --seed N             base seed (default 1)\n"
+      "  --reps N             repetitions averaged (default 3)\n"
+      "  --no-system-alarms   disable the Android system-alarm mix\n"
+      "  --doze               enable AOSP-M-style doze maintenance windows\n"
+      "  --hw-levels 2|3|4    hardware-similarity granularity (default 3)\n"
+      "  --csv PATH           write per-policy results CSV\n"
+      "  --trace PATH         write the delivery log of the last run\n"
+      "  --waveform PATH      write the power waveform of the last run\n"
+      "  --help               this text\n";
+}
+
+}  // namespace simty::cli

@@ -1,0 +1,58 @@
+#pragma once
+// Command-line front end for the experiment harness: parses argv into an
+// ExperimentConfig plus output options, with help text. Kept as a library
+// so the parsing is unit-testable; the `simty_run` tool is a thin wrapper.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace simty::cli {
+
+/// Everything a simty_run invocation needs.
+struct RunPlan {
+  exp::ExperimentConfig config;
+
+  /// Policies to run and compare (columns of the report).
+  std::vector<exp::PolicyKind> policies = {exp::PolicyKind::kNative,
+                                           exp::PolicyKind::kSimty};
+
+  int repetitions = 3;
+  std::optional<std::string> csv_path;       // write results CSV here
+  std::optional<std::string> trace_path;     // write a delivery log here
+  std::optional<std::string> waveform_path;  // write the power waveform here
+  bool show_help = false;
+};
+
+/// Result of parsing: either a plan or an error message for the user.
+struct ParseResult {
+  std::optional<RunPlan> plan;
+  std::string error;  // non-empty iff !plan
+
+  bool ok() const { return plan.has_value(); }
+};
+
+/// Parses argv (excluding argv[0]).
+///
+/// Flags:
+///   --policy native|simty|exact|simty-dur|all (repeatable, comma lists ok)
+///   --workload light|heavy|synthetic
+///   --apps N           synthetic app count
+///   --beta F           grace factor in [0, 1)
+///   --hours H | --minutes M   standby duration
+///   --seed N           base seed
+///   --reps N           repetitions (averaged)
+///   --no-system-alarms
+///   --hw-levels 2|3|4  hardware-similarity granularity
+///   --csv PATH         write per-column results CSV
+///   --trace PATH       write the delivery log of the LAST run
+///   --waveform PATH    write the power waveform of the LAST run
+///   --help
+ParseResult parse_args(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string usage();
+
+}  // namespace simty::cli

@@ -1,0 +1,29 @@
+#pragma once
+// Invariant checking.
+//
+// SIMTY_CHECK is always on (simulation correctness beats raw speed here; the
+// discrete-event core is far from any hot path that would notice), and
+// failures throw rather than abort so tests can assert on misuse.
+
+#include <stdexcept>
+#include <string>
+
+namespace simty::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("SIMTY_CHECK failed: ") + expr + " at " + file +
+                         ":" + std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace simty::detail
+
+#define SIMTY_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) ::simty::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SIMTY_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::simty::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The simulator is mostly silent; logging exists for the trace hooks the
+// paper inserted into AlarmManager/WakeLock ("to profile each app's behavior
+// ... log every alarm's time attributes and hardware usage at runtime") and
+// for debugging experiment harnesses. Output goes to an injectable sink so
+// tests can capture it.
+
+#include <functional>
+#include <string>
+
+namespace simty {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger. Not thread-safe by design: the simulator is
+/// single-threaded (discrete-event determinism requires it).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// The global instance used by the SIMTY_LOG macros.
+  static Logger& instance();
+
+  /// Messages below `level` are dropped. Default: kWarn (quiet benches).
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default sink.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+const char* to_string(LogLevel level);
+
+}  // namespace simty
+
+#define SIMTY_LOG(level, msg) ::simty::Logger::instance().log((level), (msg))
+#define SIMTY_DEBUG(msg) SIMTY_LOG(::simty::LogLevel::kDebug, (msg))
+#define SIMTY_INFO(msg) SIMTY_LOG(::simty::LogLevel::kInfo, (msg))
+#define SIMTY_WARN(msg) SIMTY_LOG(::simty::LogLevel::kWarn, (msg))
+#define SIMTY_ERROR(msg) SIMTY_LOG(::simty::LogLevel::kError, (msg))

@@ -1,0 +1,72 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace simty {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t sequence)
+    : state_(0), inc_((sequence << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: zero bound");
+  // Lemire-style rejection: discard the biased low band.
+  const std::uint32_t threshold = static_cast<std::uint32_t>(-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 random bits -> [0, 1).
+  const std::uint64_t hi = static_cast<std::uint64_t>(next_u32()) << 21;
+  const std::uint64_t lo = next_u32() >> 11;
+  return static_cast<double>(hi | lo) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::chance(double p) { return next_double() < p; }
+
+Rng Rng::fork(std::uint64_t salt) {
+  // Mix the salt through splitmix64 so nearby salts give unrelated streams.
+  std::uint64_t z = salt + 0x9E3779B97F4A7C15ULL + state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return Rng(z, salt | 1u);
+}
+
+}  // namespace simty

@@ -1,0 +1,24 @@
+#pragma once
+// Small string helpers shared by reports and trace writers.
+
+#include <string>
+#include <vector>
+
+namespace simty {
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Formats a fraction as a percentage string, e.g. 0.179 -> "17.9%".
+std::string percent(double fraction, int decimals = 1);
+
+}  // namespace simty

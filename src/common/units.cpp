@@ -1,0 +1,32 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace simty {
+
+double Energy::ratio(Energy denom) const {
+  if (denom.mj_ == 0.0) {
+    throw std::invalid_argument("Energy::ratio: zero denominator");
+  }
+  return mj_ / denom.mj_;
+}
+
+std::string Energy::to_string() const {
+  char buf[64];
+  if (std::fabs(mj_) >= 10'000.0) {
+    std::snprintf(buf, sizeof buf, "%.2f J", mj_ / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f mJ", mj_);
+  }
+  return buf;
+}
+
+std::string Power::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f mW", mw_);
+  return buf;
+}
+
+}  // namespace simty

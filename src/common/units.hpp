@@ -1,0 +1,101 @@
+#pragma once
+// Strong energy/power units.
+//
+// The paper reports energies in millijoules (mJ) and the device model works
+// with milliwatt (mW) power states. Keeping both as strong types makes the
+// dimensional relationship explicit: Power * Duration = Energy.
+
+#include <compare>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace simty {
+
+/// An amount of energy, stored in millijoules.
+class Energy {
+ public:
+  constexpr Energy() = default;
+
+  static constexpr Energy millijoules(double mj) { return Energy{mj}; }
+  static constexpr Energy joules(double j) { return Energy{j * 1000.0}; }
+  static constexpr Energy zero() { return Energy{0.0}; }
+
+  constexpr double mj() const { return mj_; }
+  constexpr double joules_f() const { return mj_ / 1000.0; }
+
+  constexpr Energy operator+(Energy o) const { return Energy{mj_ + o.mj_}; }
+  constexpr Energy operator-(Energy o) const { return Energy{mj_ - o.mj_}; }
+  constexpr Energy& operator+=(Energy o) { mj_ += o.mj_; return *this; }
+  constexpr Energy& operator-=(Energy o) { mj_ -= o.mj_; return *this; }
+  constexpr Energy operator*(double k) const { return Energy{mj_ * k}; }
+  constexpr Energy operator/(double k) const { return Energy{mj_ / k}; }
+
+  /// Dimensionless ratio of two energies; divisor must be nonzero.
+  double ratio(Energy denom) const;
+
+  constexpr auto operator<=>(const Energy&) const = default;
+
+  /// Renders as "1234.5 mJ" or "12.35 J" depending on magnitude.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Energy(double mj) : mj_(mj) {}
+  double mj_ = 0.0;
+};
+
+constexpr Energy operator*(double k, Energy e) { return e * k; }
+
+/// A power draw, stored in milliwatts.
+class Power {
+ public:
+  constexpr Power() = default;
+
+  static constexpr Power milliwatts(double mw) { return Power{mw}; }
+  static constexpr Power watts(double w) { return Power{w * 1000.0}; }
+  static constexpr Power zero() { return Power{0.0}; }
+
+  constexpr double mw() const { return mw_; }
+
+  constexpr Power operator+(Power o) const { return Power{mw_ + o.mw_}; }
+  constexpr Power operator-(Power o) const { return Power{mw_ - o.mw_}; }
+  constexpr Power& operator+=(Power o) { mw_ += o.mw_; return *this; }
+  constexpr Power& operator-=(Power o) { mw_ -= o.mw_; return *this; }
+  constexpr Power operator*(double k) const { return Power{mw_ * k}; }
+
+  constexpr auto operator<=>(const Power&) const = default;
+
+  /// Energy dissipated by this power level over `d`. mW * s = mJ.
+  constexpr Energy operator*(Duration d) const {
+    return Energy::millijoules(mw_ * d.seconds_f());
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Power(double mw) : mw_(mw) {}
+  double mw_ = 0.0;
+};
+
+constexpr Energy operator*(Duration d, Power p) { return p * d; }
+
+/// Electric charge, stored in milliamp-hours (battery capacity bookkeeping).
+class Charge {
+ public:
+  constexpr Charge() = default;
+  static constexpr Charge milliamp_hours(double mah) { return Charge{mah}; }
+  constexpr double mah() const { return mah_; }
+
+  /// Energy stored at a given nominal voltage: mAh * V * 3.6 = J.
+  constexpr Energy at_voltage(double volts) const {
+    return Energy::joules(mah_ * volts * 3.6);
+  }
+
+  constexpr auto operator<=>(const Charge&) const = default;
+
+ private:
+  explicit constexpr Charge(double mah) : mah_(mah) {}
+  double mah_ = 0.0;
+};
+
+}  // namespace simty

@@ -1,0 +1,69 @@
+#pragma once
+// Battery-aware grace adaptation and standby-until-depletion runs.
+//
+// Ref [13] (cited in the paper's intro) adjusts sensing intervals
+// "adaptively based on the battery level"; the same idea applies to
+// SIMTY's grace factor: the emptier the battery, the further imperceptible
+// alarms may be postponed. The depletion harness chains standby segments,
+// draining a battery model with each segment's measured energy, until the
+// pack is empty — measuring the paper's headline ("prolongs standby time
+// by one-fourth to one-third") directly instead of projecting it.
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "exp/experiment.hpp"
+#include "hw/battery.hpp"
+
+namespace simty::exp {
+
+/// Maps state-of-charge to the platform grace factor.
+class AdaptiveBetaController {
+ public:
+  /// One step of the control curve: use `beta` while soc >= `soc_at_least`.
+  struct Band {
+    double soc_at_least;
+    double beta;
+  };
+
+  /// Bands must be sorted by descending soc_at_least and end with a
+  /// soc_at_least of 0 (the floor band). Betas must be non-decreasing as
+  /// charge falls (postpone more, never less, as the battery drains).
+  explicit AdaptiveBetaController(std::vector<Band> bands);
+
+  /// A sensible default: gentle (0.80) above half charge, the paper's 0.96
+  /// below 20%.
+  static AdaptiveBetaController default_profile();
+
+  double beta_for(double soc) const;
+
+  const std::vector<Band>& bands() const { return bands_; }
+
+ private:
+  std::vector<Band> bands_;
+};
+
+/// One standby segment of a depletion run.
+struct DepletionSegment {
+  double soc_start = 1.0;   // charge fraction entering the segment
+  double beta = 0.0;        // grace factor used
+  Energy consumed;          // energy drained by the segment
+  double delay_imperceptible = 0.0;
+};
+
+/// Outcome of running standby until the pack is empty.
+struct DepletionResult {
+  Duration standby_time = Duration::zero();  // total time until depletion
+  bool depleted = false;                     // false if max_segments hit
+  std::vector<DepletionSegment> history;
+};
+
+/// Chains `base`-configured standby segments (each of base.duration),
+/// draining `battery`; the grace factor is either base.beta (when
+/// `controller` is null) or controller->beta_for(soc) per segment. The
+/// final partial segment is prorated. Seeds advance per segment.
+DepletionResult run_until_depleted(ExperimentConfig base, hw::Battery battery,
+                                   const AdaptiveBetaController* controller = nullptr,
+                                   int max_segments = 500);
+
+}  // namespace simty::exp

@@ -1,0 +1,274 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "alarm/alarm_manager.hpp"
+#include "alarm/doze.hpp"
+#include "alarm/duration_policy.hpp"
+#include "alarm/exact_policy.hpp"
+#include "alarm/native_policy.hpp"
+#include "alarm/simty_policy.hpp"
+#include "common/check.hpp"
+#include "hw/battery.hpp"
+#include "hw/device.hpp"
+#include "hw/power_bus.hpp"
+#include "hw/rtc.hpp"
+#include "hw/wakelock.hpp"
+#include "metrics/delay_stats.hpp"
+#include "metrics/interval_audit.hpp"
+#include "metrics/wakeup_breakdown.hpp"
+#include "power/monitor.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::exp {
+
+const char* to_string(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kNative: return "NATIVE";
+    case PolicyKind::kSimty: return "SIMTY";
+    case PolicyKind::kExact: return "EXACT";
+    case PolicyKind::kSimtyDuration: return "SIMTY-DUR";
+  }
+  return "?";
+}
+
+const char* to_string(WorkloadKind w) {
+  switch (w) {
+    case WorkloadKind::kLight: return "light";
+    case WorkloadKind::kHeavy: return "heavy";
+    case WorkloadKind::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<alarm::AlignmentPolicy> make_policy(const ExperimentConfig& config) {
+  switch (config.policy) {
+    case PolicyKind::kNative: return std::make_unique<alarm::NativePolicy>();
+    case PolicyKind::kSimty:
+      return std::make_unique<alarm::SimtyPolicy>(config.similarity);
+    case PolicyKind::kExact: return std::make_unique<alarm::ExactPolicy>();
+    case PolicyKind::kSimtyDuration:
+      return std::make_unique<alarm::DurationSimtyPolicy>(config.similarity);
+  }
+  SIMTY_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+apps::Workload make_workload(const ExperimentConfig& config) {
+  apps::WorkloadConfig wc;
+  wc.seed = config.seed;
+  wc.beta = config.beta;
+  switch (config.workload) {
+    case WorkloadKind::kLight: return apps::Workload::light(wc);
+    case WorkloadKind::kHeavy: return apps::Workload::heavy(wc);
+    case WorkloadKind::kSynthetic:
+      return apps::Workload::synthetic(config.synthetic_apps, wc);
+  }
+  SIMTY_CHECK_MSG(false, "unknown workload kind");
+  return apps::Workload::light(wc);
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulator sim;
+  hw::PowerBus bus;
+  power::EnergyAccountant accountant;
+  power::PowerMonitor monitor;
+  bus.add_listener(&accountant);
+  bus.add_listener(&monitor);
+  if (config.extra_power_listener != nullptr) {
+    bus.add_listener(config.extra_power_listener);
+  }
+
+  const hw::PowerModel& model = config.power_model;
+  hw::Device device(sim, model, bus);
+  hw::Rtc rtc(sim, device);
+  hw::WakelockManager wakelocks(sim, model, bus);
+  alarm::AlarmManager manager(sim, device, rtc, wakelocks, make_policy(config));
+
+  metrics::DelayStats delays;
+  metrics::WakeupAccounting wakeup_accounting;
+  metrics::IntervalAudit audit;
+  std::uint64_t perceptible_misses = 0;
+  std::uint64_t one_shots = 0;
+  manager.add_delivery_observer(delays.observer());
+  manager.add_delivery_observer(wakeup_accounting.observer());
+  manager.add_delivery_observer(audit.observer());
+  manager.add_delivery_observer([&](const alarm::DeliveryRecord& r) {
+    if (r.mode == alarm::RepeatMode::kOneShot) ++one_shots;
+    // Perceptible deliveries must land inside the window; allow the wake
+    // latency slip the paper itself observed.
+    if (r.was_perceptible &&
+        r.delivered > r.window.end() + model.wake_latency) {
+      ++perceptible_misses;
+    }
+  });
+
+  if (config.extra_delivery_observer) {
+    manager.add_delivery_observer(config.extra_delivery_observer);
+  }
+  if (config.extra_session_observer) {
+    manager.add_session_observer(config.extra_session_observer);
+  }
+
+  apps::Workload workload = make_workload(config);
+  workload.deploy(sim, manager);
+
+  alarm::DozeController doze(sim, manager, device, alarm::DozeController::Config{});
+  if (config.doze) doze.enable();
+
+  const TimePoint horizon = TimePoint::origin() + config.duration;
+  std::unique_ptr<apps::SystemAlarmSource> system_alarms;
+  if (config.system_alarms) {
+    apps::SystemAlarmConfig sys_cfg;
+    sys_cfg.beta = config.beta;
+    system_alarms = std::make_unique<apps::SystemAlarmSource>(
+        sim, manager, sys_cfg, Rng(config.seed, 0x515));
+    system_alarms->start(horizon);
+  }
+
+  sim.run_until(horizon);
+  device.finalize(horizon);
+  wakelocks.finalize(horizon);
+  accountant.finalize(horizon);
+  monitor.finalize(horizon);
+
+  RunResult r;
+  r.policy_name = manager.policy().name();
+  r.duration = config.duration;
+  r.energy = accountant.breakdown();
+  r.average_power_mw = accountant.average_power().mw();
+  const hw::Battery battery = hw::Battery::nexus5();
+  r.projected_standby_hours =
+      battery.projected_standby(accountant.average_power()).seconds_f() / 3600.0;
+  r.delay_perceptible = delays.perceptible().average();
+  r.delay_imperceptible = delays.imperceptible().average();
+  if (!delays.imperceptible_distribution().empty()) {
+    r.delay_imperceptible_p95 = delays.imperceptible_distribution().quantile(0.95);
+  }
+  for (const metrics::BreakdownRow& row : wakeup_accounting.rows(device, wakelocks)) {
+    r.wakeups.push_back(RunResult::HwCounts{
+        row.hardware, static_cast<double>(row.actual),
+        static_cast<double>(row.expected)});
+  }
+  r.deliveries = static_cast<double>(manager.stats().deliveries);
+  r.batches_delivered = static_cast<double>(manager.stats().batches_delivered);
+  r.one_shots = static_cast<double>(one_shots);
+  r.awake_seconds = device.total_awake_time().seconds_f();
+  r.asleep_seconds = device.total_asleep_time().seconds_f();
+  r.worst_gap_ratio = audit.worst_gap_ratio();
+  r.gap_violations = audit.check_bounds(config.beta).size();
+  r.perceptible_window_misses = perceptible_misses;
+  return r;
+}
+
+RunResult average_results(const std::vector<RunResult>& results) {
+  SIMTY_CHECK(!results.empty());
+  RunResult mean = results.front();
+  const auto n = static_cast<double>(results.size());
+  if (results.size() == 1) return mean;
+
+  auto zero_add = [&](auto get) {
+    double sum = 0.0;
+    for (const RunResult& r : results) sum += get(r);
+    return sum / n;
+  };
+
+  Energy sleep = Energy::zero(), waking = Energy::zero(), awake = Energy::zero();
+  Energy trans = Energy::zero(), comp = Energy::zero(), act = Energy::zero();
+  std::array<Energy, hw::kComponentCount> per{};
+  for (const RunResult& r : results) {
+    sleep += r.energy.sleep;
+    waking += r.energy.waking;
+    awake += r.energy.awake_base;
+    trans += r.energy.wake_transitions;
+    comp += r.energy.component_active;
+    act += r.energy.component_activation;
+    for (std::size_t i = 0; i < per.size(); ++i) per[i] += r.energy.per_component[i];
+  }
+  mean.energy.sleep = sleep / n;
+  mean.energy.waking = waking / n;
+  mean.energy.awake_base = awake / n;
+  mean.energy.wake_transitions = trans / n;
+  mean.energy.component_active = comp / n;
+  mean.energy.component_activation = act / n;
+  for (std::size_t i = 0; i < per.size(); ++i) mean.energy.per_component[i] = per[i] / n;
+
+  mean.average_power_mw = zero_add([](const RunResult& r) { return r.average_power_mw; });
+  mean.projected_standby_hours =
+      zero_add([](const RunResult& r) { return r.projected_standby_hours; });
+  mean.delay_perceptible =
+      zero_add([](const RunResult& r) { return r.delay_perceptible; });
+  mean.delay_imperceptible =
+      zero_add([](const RunResult& r) { return r.delay_imperceptible; });
+  mean.delay_imperceptible_p95 =
+      zero_add([](const RunResult& r) { return r.delay_imperceptible_p95; });
+  for (std::size_t i = 0; i < mean.wakeups.size(); ++i) {
+    double actual = 0.0, expected = 0.0;
+    for (const RunResult& r : results) {
+      SIMTY_CHECK(r.wakeups.size() == mean.wakeups.size());
+      actual += r.wakeups[i].actual;
+      expected += r.wakeups[i].expected;
+    }
+    mean.wakeups[i].actual = actual / n;
+    mean.wakeups[i].expected = expected / n;
+  }
+  mean.deliveries = zero_add([](const RunResult& r) { return r.deliveries; });
+  mean.batches_delivered =
+      zero_add([](const RunResult& r) { return r.batches_delivered; });
+  mean.one_shots = zero_add([](const RunResult& r) { return r.one_shots; });
+  mean.awake_seconds = zero_add([](const RunResult& r) { return r.awake_seconds; });
+  mean.asleep_seconds = zero_add([](const RunResult& r) { return r.asleep_seconds; });
+
+  double worst = 0.0;
+  std::uint64_t violations = 0, misses = 0;
+  for (const RunResult& r : results) {
+    worst = std::max(worst, r.worst_gap_ratio);
+    violations += r.gap_violations;
+    misses += r.perceptible_window_misses;
+  }
+  mean.worst_gap_ratio = worst;
+  mean.gap_violations = violations;
+  mean.perceptible_window_misses = misses;
+  mean.runs = static_cast<int>(results.size());
+  return mean;
+}
+
+RunResult run_repeated(ExperimentConfig config, int repetitions) {
+  SIMTY_CHECK(repetitions > 0);
+  std::vector<RunResult> results;
+  results.reserve(static_cast<std::size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(i);
+    results.push_back(run_experiment(c));
+  }
+  return average_results(results);
+}
+
+RepeatedStats run_repeated_stats(ExperimentConfig config, int repetitions) {
+  SIMTY_CHECK(repetitions > 0);
+  std::vector<RunResult> results;
+  RepeatedStats out;
+  for (int i = 0; i < repetitions; ++i) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(i);
+    results.push_back(run_experiment(c));
+    const RunResult& r = results.back();
+    out.total_j.add(r.energy.total().joules_f());
+    out.awake_j.add(r.energy.awake_total().joules_f());
+    out.delay_imperceptible.add(r.delay_imperceptible);
+    out.standby_hours.add(r.projected_standby_hours);
+    for (const auto& w : r.wakeups) {
+      if (w.hardware == "CPU") out.cpu_wakeups.add(w.actual);
+    }
+  }
+  out.mean = average_results(results);
+  return out;
+}
+
+}  // namespace simty::exp

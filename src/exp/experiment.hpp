@@ -1,0 +1,125 @@
+#pragma once
+// Experiment harness: assembles the full stack (simulator, device, RTC,
+// wakelocks, power monitor, energy accountant, alarm manager, workload,
+// system alarms), runs a connected-standby session, and collects every
+// metric the paper reports. Repetitions over seeds are averaged, matching
+// the paper's "three times, reported the average" protocol.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "alarm/similarity.hpp"
+#include "apps/system_alarms.hpp"
+#include "apps/workload.hpp"
+#include "hw/power_model.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "power/energy_accounting.hpp"
+
+namespace simty::exp {
+
+/// Which alignment policy to run.
+enum class PolicyKind { kNative, kSimty, kExact, kSimtyDuration };
+
+const char* to_string(PolicyKind p);
+
+/// Which workload to deploy.
+enum class WorkloadKind { kLight, kHeavy, kSynthetic };
+
+const char* to_string(WorkloadKind w);
+
+/// Full experiment description.
+struct ExperimentConfig {
+  PolicyKind policy = PolicyKind::kNative;
+  alarm::SimilarityConfig similarity;   // for SIMTY variants
+  WorkloadKind workload = WorkloadKind::kLight;
+  std::size_t synthetic_apps = 18;      // when workload == kSynthetic
+  double beta = apps::kPaperBeta;       // platform grace factor
+  Duration duration = Duration::hours(3);
+  std::uint64_t seed = 1;
+  bool system_alarms = true;
+
+  /// Device power model (defaults to the paper-calibrated Nexus 5).
+  hw::PowerModel power_model = hw::PowerModel::nexus5();
+
+  /// Enables the AOSP-M-style Doze controller on top of the policy. Doze
+  /// intentionally breaks the §3.2.2 guarantees — gap_violations and
+  /// worst_gap_ratio in the result quantify the damage.
+  bool doze = false;
+
+  /// Optional extra observers wired into the run's alarm manager (e.g. a
+  /// trace::DeliveryLog or a power::AppEnergyAttributor).
+  alarm::DeliveryObserver extra_delivery_observer;
+  alarm::SessionObserver extra_session_observer;
+
+  /// Optional extra power-bus listener (e.g. a caller-owned PowerMonitor
+  /// capturing the waveform). Must outlive the run.
+  hw::PowerListener* extra_power_listener = nullptr;
+};
+
+/// All metrics of one run (or the mean over several runs; counts become
+/// fractional after averaging).
+struct RunResult {
+  std::string policy_name;
+  Duration duration = Duration::zero();
+  int runs = 1;
+
+  // Energy (Fig 3).
+  power::EnergyBreakdown energy;
+  double average_power_mw = 0.0;
+  double projected_standby_hours = 0.0;  // full Nexus 5 pack at avg power
+
+  // Delay (Fig 4).
+  double delay_perceptible = 0.0;
+  double delay_imperceptible = 0.0;
+  double delay_imperceptible_p95 = 0.0;  // tail of the delay distribution
+
+  // Wakeups (Table 4): CPU, Speaker&Vibrator, Wi-Fi, WPS, Accelerometer.
+  struct HwCounts {
+    std::string hardware;
+    double actual = 0.0;
+    double expected = 0.0;
+  };
+  std::vector<HwCounts> wakeups;
+
+  // Volume stats.
+  double deliveries = 0.0;
+  double batches_delivered = 0.0;
+  double one_shots = 0.0;
+  double awake_seconds = 0.0;
+  double asleep_seconds = 0.0;
+
+  // Guarantee audit (§3.2.2).
+  double worst_gap_ratio = 0.0;
+  std::uint64_t gap_violations = 0;
+  std::uint64_t perceptible_window_misses = 0;  // beyond window + wake latency
+};
+
+/// Runs one seeded experiment.
+RunResult run_experiment(const ExperimentConfig& config);
+
+/// Runs `repetitions` experiments with seeds seed, seed+1, ... and returns
+/// the component-wise mean.
+RunResult run_repeated(ExperimentConfig config, int repetitions);
+
+/// Component-wise mean of per-seed results (exposed for tests).
+RunResult average_results(const std::vector<RunResult>& results);
+
+/// Mean plus across-seed spread of the key metrics (for EXPERIMENTS.md's
+/// "how stable is this number" question).
+struct RepeatedStats {
+  RunResult mean;
+  OnlineStats total_j;
+  OnlineStats awake_j;
+  OnlineStats delay_imperceptible;
+  OnlineStats cpu_wakeups;
+  OnlineStats standby_hours;
+};
+
+RepeatedStats run_repeated_stats(ExperimentConfig config, int repetitions);
+
+}  // namespace simty::exp

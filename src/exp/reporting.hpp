@@ -1,0 +1,38 @@
+#pragma once
+// Paper-style rendering of experiment results: one function per reproduced
+// figure/table, consumed by the bench binaries and examples.
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace simty::exp {
+
+/// A named result column (e.g. "L-NATIVE" -> its averaged RunResult).
+struct NamedResult {
+  std::string label;
+  RunResult result;
+};
+
+/// Fig 3: energy consumption (awake / sleep split, totals, savings vs the
+/// first column of each workload pair).
+std::string render_energy_figure(const std::vector<NamedResult>& columns);
+
+/// Fig 4: average normalized delivery delay of perceptible and
+/// imperceptible alarms.
+std::string render_delay_figure(const std::vector<NamedResult>& columns);
+
+/// Table 4: the wakeup breakdown with actual/expected entries.
+std::string render_wakeup_table(const std::vector<NamedResult>& columns);
+
+/// Standby-time projection (the paper's headline claim).
+std::string render_standby_projection(const std::vector<NamedResult>& columns);
+
+/// Guarantee audit summary (§3.2.2 properties).
+std::string render_guarantee_audit(const std::vector<NamedResult>& columns);
+
+/// Writes the energy/delay/wakeups series as CSV rows for plotting.
+std::string results_csv(const std::vector<NamedResult>& columns);
+
+}  // namespace simty::exp

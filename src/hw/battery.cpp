@@ -1,0 +1,47 @@
+#include "hw/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace simty::hw {
+
+Battery::Battery(Charge capacity, double nominal_volts)
+    : capacity_energy_(capacity.at_voltage(nominal_volts)) {
+  SIMTY_CHECK_MSG(capacity_energy_ > Energy::zero(), "battery capacity must be positive");
+}
+
+Battery Battery::nexus5() {
+  return Battery(Charge::milliamp_hours(2300.0), 3.8);
+}
+
+Energy Battery::remaining() const {
+  const Energy r = capacity_energy_ - consumed_;
+  return r > Energy::zero() ? r : Energy::zero();
+}
+
+double Battery::state_of_charge() const {
+  return remaining().ratio(capacity_energy_);
+}
+
+void Battery::consume(Energy e) {
+  SIMTY_CHECK_MSG(e >= Energy::zero(), "cannot consume negative energy");
+  consumed_ += e;
+  consumed_ = std::min(consumed_, capacity_energy_);
+}
+
+bool Battery::depleted() const { return remaining() == Energy::zero(); }
+
+Duration Battery::projected_standby(Energy capacity, Power avg_power) {
+  if (avg_power <= Power::zero()) {
+    throw std::invalid_argument("projected_standby: average power must be positive");
+  }
+  return Duration::from_seconds(capacity.mj() / avg_power.mw());
+}
+
+Duration Battery::projected_standby(Power avg_power) const {
+  return projected_standby(capacity_energy_, avg_power);
+}
+
+}  // namespace simty::hw

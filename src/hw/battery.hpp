@@ -1,0 +1,45 @@
+#pragma once
+// Battery model: converts measured energy into state-of-charge and
+// projected standby time — the paper's headline claim is that SIMTY
+// "prolongs standby time by one-fourth to one-third".
+
+#include <string>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace simty::hw {
+
+/// Ideal-source battery with a nominal voltage (the 3.8 V / 2300 mAh pack
+/// of Table 2 by default).
+class Battery {
+ public:
+  Battery(Charge capacity, double nominal_volts);
+
+  /// The Nexus 5 pack from Table 2.
+  static Battery nexus5();
+
+  Energy capacity() const { return capacity_energy_; }
+  Energy consumed() const { return consumed_; }
+  Energy remaining() const;
+
+  /// Fraction of charge remaining in [0, 1].
+  double state_of_charge() const;
+
+  /// Draws `e` from the pack (clamped at empty).
+  void consume(Energy e);
+  bool depleted() const;
+
+  /// Standby time a full pack sustains at the given average drain.
+  /// avg_power must be positive.
+  static Duration projected_standby(Energy capacity, Power avg_power);
+
+  /// Convenience overload using this pack's capacity.
+  Duration projected_standby(Power avg_power) const;
+
+ private:
+  Energy capacity_energy_;
+  Energy consumed_ = Energy::zero();
+};
+
+}  // namespace simty::hw

@@ -1,0 +1,115 @@
+#include "hw/component.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace simty::hw {
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::kWifi: return "wifi";
+    case Component::kWps: return "wps";
+    case Component::kGps: return "gps";
+    case Component::kCellular: return "cellular";
+    case Component::kAccelerometer: return "accelerometer";
+    case Component::kSpeaker: return "speaker";
+    case Component::kVibrator: return "vibrator";
+    case Component::kScreen: return "screen";
+  }
+  return "?";
+}
+
+std::optional<Component> component_from_string(std::string_view name) {
+  for (int i = 0; i < kComponentCount; ++i) {
+    const auto c = static_cast<Component>(i);
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+bool is_user_perceptible(Component c) {
+  return c == Component::kSpeaker || c == Component::kVibrator ||
+         c == Component::kScreen;
+}
+
+namespace {
+constexpr std::uint32_t bit_of(Component c) {
+  return 1u << static_cast<std::uint8_t>(c);
+}
+}  // namespace
+
+ComponentSet::ComponentSet(std::initializer_list<Component> cs) {
+  for (const Component c : cs) insert(c);
+}
+
+ComponentSet ComponentSet::all() {
+  ComponentSet s;
+  for (int i = 0; i < kComponentCount; ++i) s.insert(static_cast<Component>(i));
+  return s;
+}
+
+std::size_t ComponentSet::size() const {
+  return static_cast<std::size_t>(std::popcount(bits_));
+}
+
+bool ComponentSet::contains(Component c) const { return (bits_ & bit_of(c)) != 0; }
+
+void ComponentSet::insert(Component c) {
+  SIMTY_CHECK(static_cast<int>(c) < kComponentCount);
+  bits_ |= bit_of(c);
+}
+
+void ComponentSet::erase(Component c) { bits_ &= ~bit_of(c); }
+
+ComponentSet ComponentSet::operator|(ComponentSet o) const {
+  ComponentSet s;
+  s.bits_ = bits_ | o.bits_;
+  return s;
+}
+
+ComponentSet ComponentSet::operator&(ComponentSet o) const {
+  ComponentSet s;
+  s.bits_ = bits_ & o.bits_;
+  return s;
+}
+
+ComponentSet ComponentSet::operator-(ComponentSet o) const {
+  ComponentSet s;
+  s.bits_ = bits_ & ~o.bits_;
+  return s;
+}
+
+ComponentSet& ComponentSet::operator|=(ComponentSet o) {
+  bits_ |= o.bits_;
+  return *this;
+}
+
+bool ComponentSet::any_perceptible() const {
+  for (const Component c : components()) {
+    if (is_user_perceptible(c)) return true;
+  }
+  return false;
+}
+
+std::vector<Component> ComponentSet::components() const {
+  std::vector<Component> out;
+  for (int i = 0; i < kComponentCount; ++i) {
+    const auto c = static_cast<Component>(i);
+    if (contains(c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::string ComponentSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Component c : components()) {
+    if (!first) out += ",";
+    out += simty::hw::to_string(c);
+    first = false;
+  }
+  return out + "}";
+}
+
+}  // namespace simty::hw

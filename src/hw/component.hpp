@@ -1,0 +1,85 @@
+#pragma once
+// Hardware components and wakelockable component sets.
+//
+// Only components that alarms can wakelock autonomously participate in
+// similarity determination (paper §3.1.1) — the CPU and memory are implicit
+// in every wakeup and are modelled by the device FSM instead. A component
+// set may therefore be empty (an alarm that only needs the CPU).
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simty::hw {
+
+/// Wakelockable hardware components of the modelled smartphone (Table 2).
+enum class Component : std::uint8_t {
+  kWifi = 0,          // WLAN radio (sync traffic)
+  kWps,               // Wi-Fi positioning scan pipeline
+  kGps,               // GPS receiver (modelled; unused by the paper workloads)
+  kCellular,          // cellular data radio
+  kAccelerometer,     // motion sensor (step counters)
+  kSpeaker,           // audio out — user-perceptible
+  kVibrator,          // haptics — user-perceptible
+  kScreen,            // display — user-perceptible
+};
+
+inline constexpr int kComponentCount = 8;
+
+/// Short stable name, e.g. "wifi", "speaker".
+const char* to_string(Component c);
+
+/// Inverse of to_string(); nullopt for unknown names.
+std::optional<Component> component_from_string(std::string_view name);
+
+/// True for components whose activation the user notices (screen, speaker,
+/// vibrator) — the basis of alarm perceptibility (paper §3.1.2).
+bool is_user_perceptible(Component c);
+
+/// A set of hardware components, stored as a bitmask.
+class ComponentSet {
+ public:
+  constexpr ComponentSet() = default;
+  ComponentSet(std::initializer_list<Component> cs);
+
+  static constexpr ComponentSet none() { return ComponentSet{}; }
+
+  /// Set with every modelled component.
+  static ComponentSet all();
+
+  bool empty() const { return bits_ == 0; }
+  std::size_t size() const;
+  bool contains(Component c) const;
+
+  void insert(Component c);
+  void erase(Component c);
+
+  ComponentSet operator|(ComponentSet o) const;  // union
+  ComponentSet operator&(ComponentSet o) const;  // intersection
+  ComponentSet operator-(ComponentSet o) const;  // difference
+  ComponentSet& operator|=(ComponentSet o);
+
+  bool operator==(const ComponentSet&) const = default;
+
+  /// True when the two sets share at least one component.
+  bool intersects(ComponentSet o) const { return (bits_ & o.bits_) != 0; }
+
+  /// True when this set contains any user-perceptible component.
+  bool any_perceptible() const;
+
+  /// Members in enum order.
+  std::vector<Component> components() const;
+
+  /// Renders as "{wifi,wps}" or "{}".
+  std::string to_string() const;
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace simty::hw

@@ -1,0 +1,18 @@
+#include "hw/device_spec.hpp"
+
+namespace simty::hw {
+
+std::vector<SpecEntry> nexus5_spec() {
+  return {
+      {"Hardware", "CPU", "Quad-core 2.26 GHz Krait 400"},
+      {"Hardware", "Memory", "2GB LPDDR3 RAM"},
+      {"Hardware", "Cellular", "3G WCDMA UMTS/HSPA/HSPA+"},
+      {"Hardware", "WLAN", "2x2 MIMO Wi-Fi 802.11 a/b/g/n/ac"},
+      {"Hardware", "Screen", "4.95in Full HD 1920x1080 IPS LCD"},
+      {"Hardware", "Peripheral", "Speaker, Vibrator, Accelerometer, etc."},
+      {"Hardware", "Battery", "3.8V 2300 mAh"},
+      {"Software", "OS", "Android 4.4.4 / Linux kernel 3.4.0"},
+  };
+}
+
+}  // namespace simty::hw

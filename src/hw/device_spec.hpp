@@ -1,0 +1,20 @@
+#pragma once
+// Static description of the modelled handset (the paper's Table 2),
+// rendered by the setup bench for fidelity.
+
+#include <string>
+#include <vector>
+
+namespace simty::hw {
+
+/// One row of the specification table.
+struct SpecEntry {
+  std::string category;  // "Hardware" or "Software"
+  std::string item;      // e.g. "CPU"
+  std::string value;     // e.g. "Quad-core 2.26 GHz Krait 400"
+};
+
+/// The LG Nexus 5 specification of Table 2.
+std::vector<SpecEntry> nexus5_spec();
+
+}  // namespace simty::hw

@@ -1,0 +1,52 @@
+#include "hw/guardian.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace simty::hw {
+
+WakelockGuardian::WakelockGuardian(sim::Simulator& sim, WakelockManager& wakelocks,
+                                   Config config)
+    : sim_(sim), wakelocks_(wakelocks), config_(config) {
+  SIMTY_CHECK_MSG(config_.hold_budget > Duration::zero(),
+                  "guardian hold budget must be positive");
+  SIMTY_CHECK_MSG(config_.scan_period > Duration::zero(),
+                  "guardian scan period must be positive");
+}
+
+void WakelockGuardian::start(TimePoint horizon) {
+  horizon_ = horizon;
+  schedule_next();
+}
+
+std::size_t WakelockGuardian::scan() {
+  const TimePoint now = sim_.now();
+  std::size_t revoked = 0;
+  for (const WakelockManager::HeldInfo& h : wakelocks_.held_locks()) {
+    const Duration held_for = now - h.acquired_at;
+    if (held_for <= config_.hold_budget) continue;
+    if (wakelocks_.try_release(h.id)) {
+      interventions_.push_back(Intervention{now, h.component, h.holder, held_for});
+      ++revoked;
+      SIMTY_WARN(str_format("guardian revoked %s held by %s for %s",
+                            to_string(h.component), h.holder.c_str(),
+                            held_for.to_string().c_str()));
+    }
+  }
+  return revoked;
+}
+
+void WakelockGuardian::schedule_next() {
+  const TimePoint when = sim_.now() + config_.scan_period;
+  if (when >= horizon_) return;
+  sim_.schedule_at(
+      when,
+      [this] {
+        scan();
+        schedule_next();
+      },
+      sim::EventPriority::kObserver, "guardian-scan");
+}
+
+}  // namespace simty::hw

@@ -1,0 +1,59 @@
+#pragma once
+// Wakelock guardian: runtime no-sleep-bug management after WakeScope
+// (ref [3]), which not only detects wakelock anomalies at runtime but acts
+// on them. The guardian scans held locks on a fixed period and force-
+// releases any lock held beyond its budget, recording an intervention —
+// bounding the energy a buggy app can steal while the watchdog in
+// WakelockManager merely reports.
+
+#include <string>
+#include <vector>
+
+#include "hw/wakelock.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::hw {
+
+/// Periodic scan-and-revoke policy for runaway wakelocks.
+class WakelockGuardian {
+ public:
+  struct Config {
+    /// Locks held longer than this are revoked.
+    Duration hold_budget = Duration::minutes(5);
+
+    /// Scan period; detection latency is at most one period.
+    Duration scan_period = Duration::minutes(1);
+  };
+
+  /// One forced release.
+  struct Intervention {
+    TimePoint at;
+    Component component;
+    std::string holder;
+    Duration held_for;
+  };
+
+  WakelockGuardian(sim::Simulator& sim, WakelockManager& wakelocks, Config config);
+
+  WakelockGuardian(const WakelockGuardian&) = delete;
+  WakelockGuardian& operator=(const WakelockGuardian&) = delete;
+
+  /// Starts periodic scanning until `horizon`.
+  void start(TimePoint horizon);
+
+  /// Runs one scan immediately; returns how many locks were revoked.
+  std::size_t scan();
+
+  const std::vector<Intervention>& interventions() const { return interventions_; }
+
+ private:
+  void schedule_next();
+
+  sim::Simulator& sim_;
+  WakelockManager& wakelocks_;
+  Config config_;
+  TimePoint horizon_;
+  std::vector<Intervention> interventions_;
+};
+
+}  // namespace simty::hw

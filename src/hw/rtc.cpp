@@ -1,0 +1,39 @@
+#include "hw/rtc.hpp"
+
+#include "common/check.hpp"
+
+namespace simty::hw {
+
+Rtc::Rtc(sim::Simulator& sim, Device& device) : sim_(sim), device_(device) {}
+
+void Rtc::program(TimePoint when, std::function<void()> handler) {
+  SIMTY_CHECK(static_cast<bool>(handler));
+  SIMTY_CHECK_MSG(when >= sim_.now(), "Rtc::program: deadline in the past");
+  clear();
+  deadline_ = when;
+  handler_ = std::move(handler);
+  event_ = sim_.schedule_at(
+      when, [this] { fire(); }, sim::EventPriority::kHardware, "rtc-interrupt");
+}
+
+void Rtc::clear() {
+  if (event_) {
+    sim_.cancel(*event_);
+    event_.reset();
+  }
+  deadline_.reset();
+  handler_ = nullptr;
+}
+
+void Rtc::fire() {
+  event_.reset();
+  deadline_.reset();
+  ++fired_;
+  auto handler = std::move(handler_);
+  handler_ = nullptr;
+  // The handler runs only once the platform has completed its wake
+  // transition; if already awake it runs immediately.
+  device_.request_awake(WakeReason::kRtcAlarm, std::move(handler));
+}
+
+}  // namespace simty::hw

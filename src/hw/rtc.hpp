@@ -1,0 +1,51 @@
+#pragma once
+// Real-time clock with a single programmable wake interrupt.
+//
+// Mirrors the Android/Linux RTC_WAKEUP contract the paper's AlarmManager
+// sits on: the framework keeps exactly one next-wakeup deadline programmed
+// (the head of the batch queue); reprogramming replaces it. When the
+// interrupt fires the RTC wakes the platform and invokes the handler once
+// the CPU is usable — i.e. one wake latency after the nominal instant.
+
+#include <functional>
+#include <optional>
+
+#include "common/time.hpp"
+#include "hw/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::hw {
+
+/// Single-slot RTC wake interrupt.
+class Rtc {
+ public:
+  Rtc(sim::Simulator& sim, Device& device);
+
+  Rtc(const Rtc&) = delete;
+  Rtc& operator=(const Rtc&) = delete;
+
+  /// Programs the interrupt for `when` (>= now). Replaces any previously
+  /// programmed deadline. `handler` runs when the CPU is awake and usable.
+  void program(TimePoint when, std::function<void()> handler);
+
+  /// Clears the programmed interrupt, if any.
+  void clear();
+
+  /// Deadline currently programmed, if any.
+  std::optional<TimePoint> programmed() const { return deadline_; }
+
+  /// Interrupts fired so far.
+  std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  void fire();
+
+  sim::Simulator& sim_;
+  Device& device_;
+  std::optional<sim::EventId> event_;
+  std::optional<TimePoint> deadline_;
+  std::function<void()> handler_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace simty::hw

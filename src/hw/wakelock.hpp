@@ -1,0 +1,135 @@
+#pragma once
+// Hardware wakelock manager.
+//
+// Re-creates the Android hardware WakeLock surface the paper hooked for
+// profiling: tasks acquire a named lock on a component while they use it;
+// a component is powered (and pays its activation energy) only while at
+// least one lock is held. On-cycle counts per component are exactly the
+// numerators of the paper's Table 4. A WakeScope-style watchdog flags
+// locks held beyond a threshold — the "no-sleep bug" failure mode of
+// refs [3] and [6].
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "hw/component.hpp"
+#include "hw/power_bus.hpp"
+#include "hw/power_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::hw {
+
+/// Ticket returned by acquire(); pass back to release().
+struct WakelockId {
+  std::uint64_t value = 0;
+  bool operator==(const WakelockId&) const = default;
+};
+
+/// A lock held suspiciously long (potential no-sleep bug).
+struct WakelockAnomaly {
+  Component component;
+  std::string holder;
+  TimePoint acquired_at;
+  Duration held_for;
+  bool still_held;  // true when flagged by audit() rather than at release
+};
+
+/// Per-component usage statistics.
+struct ComponentUsage {
+  std::uint64_t cycles = 0;       // cold off->on transitions (Table 4 numerators)
+  std::uint64_t acquisitions = 0; // individual locks taken
+  std::uint64_t warm_starts = 0;  // re-acquisitions during the radio tail
+  Duration on_time;               // accumulated actively-locked time
+  Duration tail_time;             // accumulated tail-lingering time
+};
+
+/// Reference-counted power gating for every wakelockable component.
+class WakelockManager {
+ public:
+  WakelockManager(sim::Simulator& sim, const PowerModel& model, PowerBus& bus);
+
+  WakelockManager(const WakelockManager&) = delete;
+  WakelockManager& operator=(const WakelockManager&) = delete;
+
+  /// Acquires a lock on `c` for `holder` (app/alarm tag, for diagnostics).
+  /// First lock on an unpowered component powers it and pays activation.
+  WakelockId acquire(Component c, std::string holder);
+
+  /// Releases a previously acquired lock; the last release powers the
+  /// component down. Unknown/double release throws.
+  void release(WakelockId id);
+
+  /// Like release(), but returns false instead of throwing when the lock
+  /// is gone — used by holders whose locks a guardian may have revoked.
+  bool try_release(WakelockId id);
+
+  /// Snapshot of a currently held lock.
+  struct HeldInfo {
+    WakelockId id;
+    Component component;
+    std::string holder;
+    TimePoint acquired_at;
+  };
+
+  /// All currently held locks (registration order).
+  std::vector<HeldInfo> held_locks() const;
+
+  bool is_on(Component c) const;
+  int lock_count(Component c) const;
+
+  /// True while the component lingers in its post-release tail.
+  bool in_tail(Component c) const;
+
+  /// Overrides the component's tail length (fast dormancy, ref [12]):
+  /// forces the radio down after `truncated` instead of the model's tail.
+  void set_fast_dormancy(Component c, Duration truncated);
+
+  const ComponentUsage& usage(Component c) const;
+
+  /// Locks held longer than `threshold` get reported. A zero threshold
+  /// disables the watchdog (the default).
+  void set_watchdog_threshold(Duration threshold) { watchdog_threshold_ = threshold; }
+
+  /// Anomalies recorded at release time.
+  const std::vector<WakelockAnomaly>& anomalies() const { return anomalies_; }
+
+  /// Scans currently-held locks; appends still-held anomalies and returns
+  /// how many were found by this scan.
+  std::size_t audit(TimePoint now);
+
+  /// Flushes on-time accounting for still-powered components up to `now`.
+  void finalize(TimePoint now);
+
+ private:
+  struct Held {
+    WakelockId id;
+    Component component;
+    std::string holder;
+    TimePoint acquired_at;
+  };
+
+  sim::Simulator& sim_;
+  PowerModel model_;
+  PowerBus& bus_;
+
+  Duration effective_tail(Component c) const;
+  void end_tail(std::size_t idx);
+
+  std::vector<Held> held_;
+  std::array<int, kComponentCount> counts_{};
+  std::array<TimePoint, kComponentCount> on_since_{};
+  std::array<TimePoint, kComponentCount> tail_since_{};
+  std::array<std::optional<sim::EventId>, kComponentCount> tail_event_{};
+  std::array<std::optional<Duration>, kComponentCount> tail_override_{};
+  std::array<ComponentUsage, kComponentCount> usage_{};
+  std::vector<WakelockAnomaly> anomalies_;
+  Duration watchdog_threshold_ = Duration::zero();
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace simty::hw

@@ -1,0 +1,54 @@
+#pragma once
+// Fixed-bucket histogram with quantile queries.
+//
+// Fig 4 reports average normalized delays; averages hide the tail. This
+// histogram records the full delay distribution (linear buckets over a
+// configurable range plus an overflow bucket) so benches and tests can ask
+// for medians and p95/p99 — how late the *worst* imperceptible deliveries
+// really are relative to the (1 + beta) bound.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simty::metrics {
+
+/// Linear-bucket histogram over [0, upper); values beyond land in an
+/// overflow bucket. Exact count/sum/min/max are kept alongside.
+class Histogram {
+ public:
+  /// `buckets` linear buckets spanning [0, upper).
+  Histogram(double upper, std::size_t buckets);
+
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Quantile in [0, 1] by linear interpolation inside the bucket;
+  /// overflow resolves to the observed max. Throws when empty.
+  double quantile(double q) const;
+
+  /// Bucket counts (for rendering).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  double bucket_width() const { return width_; }
+
+  /// Compact ASCII sparkline-style rendering, e.g. for bench output.
+  std::string render(int max_width = 40) const;
+
+ private:
+  double upper_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace simty::metrics

@@ -1,0 +1,76 @@
+#include "metrics/interval_audit.hpp"
+
+#include <algorithm>
+
+namespace simty::metrics {
+
+double GapStats::min_gap_over_repeat() const {
+  if (repeat.is_zero() || min_gap == Duration::max()) return 0.0;
+  return min_gap.ratio(repeat);
+}
+
+double GapStats::max_gap_over_repeat() const {
+  if (repeat.is_zero()) return 0.0;
+  return max_gap.ratio(repeat);
+}
+
+void IntervalAudit::observe(const alarm::DeliveryRecord& record) {
+  if (record.mode == alarm::RepeatMode::kOneShot) return;
+  GapStats& s = stats_[record.id.value];
+  if (s.deliveries == 0) {
+    s.tag = record.tag;
+    s.mode = record.mode;
+    s.repeat = record.repeat_interval;
+  }
+  s.ever_perceptible = s.ever_perceptible || record.was_perceptible;
+  s.last_perceptible = record.was_perceptible;
+  ++s.deliveries;
+
+  const auto last = last_delivery_.find(record.id.value);
+  if (last != last_delivery_.end()) {
+    const Duration gap = record.delivered - last->second;
+    s.min_gap = std::min(s.min_gap, gap);
+    s.max_gap = std::max(s.max_gap, gap);
+  }
+  last_delivery_[record.id.value] = record.delivered;
+}
+
+alarm::DeliveryObserver IntervalAudit::observer() {
+  return [this](const alarm::DeliveryRecord& r) { observe(r); };
+}
+
+std::vector<GapViolation> IntervalAudit::check_bounds(double beta,
+                                                      double slack) const {
+  std::vector<GapViolation> out;
+  for (const auto& [id, s] : stats_) {
+    if (s.deliveries < 2) continue;
+    // Upper bound: (1 + beta) * ReIn for both static and dynamic repeating
+    // (§3.2.2). NATIVE only postpones within windows, so beta is a safe
+    // over-approximation there too.
+    const double upper = 1.0 + beta + slack;
+    if (s.max_gap_over_repeat() > upper) {
+      out.push_back(GapViolation{s.tag, true, s.max_gap_over_repeat(), upper});
+    }
+    // Lower bound: ReIn for dynamic, (1 - beta) * ReIn for static.
+    const double lower =
+        (s.mode == alarm::RepeatMode::kDynamic ? 1.0 : 1.0 - beta) - slack;
+    if (s.min_gap_over_repeat() < lower) {
+      out.push_back(GapViolation{s.tag, false, s.min_gap_over_repeat(), lower});
+    }
+  }
+  return out;
+}
+
+double IntervalAudit::worst_gap_ratio() const {
+  // Every alarm's FIRST delivery counts as perceptible (footnote 5:
+  // hardware still unknown), so filter on the post-profiling
+  // classification: an alarm whose last delivery was imperceptible.
+  double worst = 0.0;
+  for (const auto& [id, s] : stats_) {
+    if (s.deliveries < 2 || s.last_perceptible) continue;
+    worst = std::max(worst, s.max_gap_over_repeat());
+  }
+  return worst;
+}
+
+}  // namespace simty::metrics

@@ -1,0 +1,51 @@
+#pragma once
+// Wakeup breakdown (the paper's Table 4): for the CPU and for every
+// wakelockable component, the actually observed number of wakeups/on-cycles
+// (numerator) against the expected number had no alignment been applied
+// (denominator — one wakeup per delivery).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "hw/device.hpp"
+#include "hw/wakelock.hpp"
+
+namespace simty::metrics {
+
+/// One Table 4 row.
+struct BreakdownRow {
+  std::string hardware;       // "CPU", "Speaker&Vibrator", "Wi-Fi", ...
+  std::uint64_t actual = 0;   // wakeups / on-cycles observed
+  std::uint64_t expected = 0; // one per delivery (no alignment)
+
+  std::string ratio_string() const;  // "733/983"
+};
+
+/// Delivery observer accumulating the expected counts; the actual counts
+/// are read from the device (CPU) and the wakelock manager (components).
+class WakeupAccounting {
+ public:
+  void observe(const alarm::DeliveryRecord& record);
+  alarm::DeliveryObserver observer();
+
+  /// Total alarm deliveries seen (the CPU denominator: one-shot and system
+  /// alarms included).
+  std::uint64_t total_deliveries() const { return total_deliveries_; }
+
+  /// Deliveries whose task wakelocked `c`.
+  std::uint64_t deliveries_using(hw::Component c) const;
+
+  /// Builds the Table 4 rows: CPU, Speaker&Vibrator (combined as in the
+  /// paper), Wi-Fi, WPS, Accelerometer.
+  std::vector<BreakdownRow> rows(const hw::Device& device,
+                                 const hw::WakelockManager& wakelocks) const;
+
+ private:
+  std::uint64_t total_deliveries_ = 0;
+  std::array<std::uint64_t, hw::kComponentCount> per_component_{};
+};
+
+}  // namespace simty::metrics

@@ -1,0 +1,96 @@
+#include "net/rrc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace simty::net {
+
+const char* to_string(RrcState s) {
+  switch (s) {
+    case RrcState::kIdle: return "IDLE";
+    case RrcState::kFach: return "FACH";
+    case RrcState::kDch: return "DCH";
+  }
+  return "?";
+}
+
+RrcMachine::RrcMachine(sim::Simulator& sim, RrcConfig config, hw::PowerBus& bus)
+    : sim_(sim), config_(config), bus_(bus), state_since_(sim.now()),
+      busy_until_(sim.now()) {
+  SIMTY_CHECK(config_.dch_to_fach > Duration::zero());
+  SIMTY_CHECK(config_.fach_to_idle > Duration::zero());
+}
+
+void RrcMachine::data_activity(Duration duration) {
+  SIMTY_CHECK_MSG(!duration.is_negative(), "activity duration must be >= 0");
+  const TimePoint now = sim_.now();
+  busy_until_ = std::max(busy_until_, now + duration);
+
+  switch (state_) {
+    case RrcState::kIdle:
+      ++idle_promotions_;
+      bus_.publish_impulse(now, config_.idle_promotion,
+                           hw::ImpulseKind::kComponentActivation, "rrc-idle-dch");
+      enter(RrcState::kDch);
+      break;
+    case RrcState::kFach:
+      ++fach_promotions_;
+      bus_.publish_impulse(now, config_.fach_promotion,
+                           hw::ImpulseKind::kComponentActivation, "rrc-fach-dch");
+      enter(RrcState::kDch);
+      break;
+    case RrcState::kDch:
+      break;  // already up; timers just move out
+  }
+  arm_demotion();
+}
+
+void RrcMachine::enter(RrcState next) {
+  const TimePoint now = sim_.now();
+  time_in_[static_cast<std::size_t>(state_)] += now - state_since_;
+  state_since_ = now;
+  state_ = next;
+  switch (state_) {
+    case RrcState::kDch:
+      bus_.publish_component_power(now, hw::Component::kCellular, true, config_.dch);
+      break;
+    case RrcState::kFach:
+      bus_.publish_component_power(now, hw::Component::kCellular, true, config_.fach);
+      break;
+    case RrcState::kIdle:
+      bus_.publish_component_power(now, hw::Component::kCellular, false, Power::zero());
+      break;
+  }
+}
+
+void RrcMachine::arm_demotion() {
+  if (demotion_event_) {
+    sim_.cancel(*demotion_event_);
+    demotion_event_.reset();
+  }
+  demotion_event_ = sim_.schedule_at(
+      busy_until_ + config_.dch_to_fach,
+      [this] {
+        enter(RrcState::kFach);
+        demotion_event_ = sim_.schedule_at(
+            sim_.now() + config_.fach_to_idle,
+            [this] {
+              demotion_event_.reset();
+              enter(RrcState::kIdle);
+            },
+            sim::EventPriority::kHardware, "rrc-fach-idle");
+      },
+      sim::EventPriority::kHardware, "rrc-dch-fach");
+}
+
+Duration RrcMachine::time_in(RrcState s) const {
+  return time_in_[static_cast<std::size_t>(s)];
+}
+
+void RrcMachine::finalize(TimePoint now) {
+  time_in_[static_cast<std::size_t>(state_)] += now - state_since_;
+  state_since_ = now;
+}
+
+}  // namespace simty::net

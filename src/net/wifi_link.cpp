@@ -1,0 +1,60 @@
+#include "net/wifi_link.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace simty::net {
+
+WifiLink::WifiLink(sim::Simulator& sim, WifiLinkConfig config, Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  SIMTY_CHECK(config_.good_rate_kbps > 0.0);
+  SIMTY_CHECK(config_.bad_rate_kbps > 0.0);
+  SIMTY_CHECK(config_.mean_good_dwell > Duration::zero());
+  SIMTY_CHECK(config_.mean_bad_dwell > Duration::zero());
+}
+
+void WifiLink::start(TimePoint horizon) {
+  horizon_ = horizon;
+  started_ = sim_.now();
+  state_since_ = sim_.now();
+  schedule_transition();
+}
+
+double WifiLink::current_rate_kbps() const {
+  return good_ ? config_.good_rate_kbps : config_.bad_rate_kbps;
+}
+
+Duration WifiLink::transfer_time(std::uint64_t bytes) const {
+  // kbps = 1000 bits per second.
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / (current_rate_kbps() * 1000.0);
+  return config_.protocol_overhead + Duration::from_seconds(seconds);
+}
+
+double WifiLink::good_fraction(TimePoint now) const {
+  Duration good_total = good_time_;
+  if (good_) good_total += now - state_since_;
+  const Duration elapsed = now - started_;
+  if (elapsed.is_zero()) return 1.0;
+  return good_total.ratio(elapsed);
+}
+
+void WifiLink::schedule_transition() {
+  const Duration mean = good_ ? config_.mean_good_dwell : config_.mean_bad_dwell;
+  const Duration dwell = Duration::from_seconds(rng_.exponential(mean.seconds_f()));
+  const TimePoint when = sim_.now() + std::max(dwell, Duration::millis(100));
+  if (when >= horizon_) return;
+  sim_.schedule_at(
+      when,
+      [this] {
+        if (good_) good_time_ += sim_.now() - state_since_;
+        good_ = !good_;
+        state_since_ = sim_.now();
+        ++transitions_;
+        schedule_transition();
+      },
+      sim::EventPriority::kHardware, "wifi-link-transition");
+}
+
+}  // namespace simty::net

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace simty::sim {
+
+EventId EventQueue::schedule(TimePoint when, EventPriority priority, EventCallback cb,
+                             std::string label) {
+  SIMTY_CHECK_MSG(static_cast<bool>(cb), "EventQueue::schedule: empty callback");
+  const Key key{when.us(), static_cast<int>(priority), next_seq_++};
+  const EventId id{key.seq};
+  events_.emplace(key, Entry{std::move(cb), std::move(label), id});
+  index_.emplace(id.value, key);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = index_.find(id.value);
+  if (it == index_.end()) return false;
+  events_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+TimePoint EventQueue::next_time() const {
+  SIMTY_CHECK_MSG(!events_.empty(), "EventQueue::next_time on empty queue");
+  return TimePoint::from_us(events_.begin()->first.when_us);
+}
+
+EventQueue::Fired EventQueue::pop() {
+  SIMTY_CHECK_MSG(!events_.empty(), "EventQueue::pop on empty queue");
+  auto it = events_.begin();
+  Fired fired{TimePoint::from_us(it->first.when_us), std::move(it->second.callback),
+              std::move(it->second.label)};
+  index_.erase(it->second.id.value);
+  events_.erase(it);
+  return fired;
+}
+
+}  // namespace simty::sim

@@ -1,0 +1,81 @@
+#pragma once
+// Pending-event set for the discrete-event simulator.
+//
+// Events are ordered by (time, priority, insertion sequence): simultaneous
+// events run in deterministic order, and the priority lane lets the device
+// model run hardware-level transitions (RTC interrupt, wake completion)
+// before framework-level reactions scheduled for the same instant.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace simty::sim {
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  bool operator==(const EventId&) const = default;
+};
+
+/// Tie-break lane for events scheduled at the same instant (lower runs first).
+enum class EventPriority : int {
+  kHardware = 0,   // RTC interrupts, device state transitions
+  kFramework = 1,  // alarm manager delivery, task completion
+  kApp = 2,        // app reactions, re-registration
+  kObserver = 3,   // metrics sampling, trace capture
+};
+
+using EventCallback = std::function<void()>;
+
+/// Min-ordered set of future events with O(log n) schedule/cancel/pop.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` at `when`; `label` is kept for diagnostics.
+  EventId schedule(TimePoint when, EventPriority priority, EventCallback cb,
+                   std::string label = "");
+
+  /// Cancels a pending event. Returns false if it already fired/was cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  TimePoint next_time() const;
+
+  /// Removes and returns the earliest event's callback and metadata.
+  struct Fired {
+    TimePoint when;
+    EventCallback callback;
+    std::string label;
+  };
+  Fired pop();
+
+ private:
+  struct Key {
+    std::int64_t when_us;
+    int priority;
+    std::uint64_t seq;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    EventCallback callback;
+    std::string label;
+    EventId id;
+  };
+
+  std::map<Key, Entry> events_;
+  std::map<std::uint64_t, Key> index_;  // EventId -> Key for cancellation
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace simty::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace simty::sim {
+
+EventId Simulator::schedule_at(TimePoint when, EventCallback cb, EventPriority priority,
+                               std::string label) {
+  SIMTY_CHECK_MSG(when >= now_, "Simulator::schedule_at: time in the past");
+  return queue_.schedule(when, priority, std::move(cb), std::move(label));
+}
+
+EventId Simulator::schedule_after(Duration delay, EventCallback cb,
+                                  EventPriority priority, std::string label) {
+  SIMTY_CHECK_MSG(!delay.is_negative(), "Simulator::schedule_after: negative delay");
+  return queue_.schedule(now_ + delay, priority, std::move(cb), std::move(label));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+void Simulator::run_until(TimePoint until) {
+  SIMTY_CHECK_MSG(until >= now_, "Simulator::run_until: horizon in the past");
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+  }
+  now_ = until;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Fired fired = queue_.pop();
+  SIMTY_CHECK_MSG(fired.when >= now_, "Simulator: time went backwards");
+  now_ = fired.when;
+  ++events_processed_;
+  fired.callback();
+  return true;
+}
+
+}  // namespace simty::sim

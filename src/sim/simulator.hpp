@@ -1,0 +1,61 @@
+#pragma once
+// Discrete-event simulator core: a virtual clock plus an event loop.
+//
+// The whole standby experiment runs inside one Simulator: the device model,
+// the alarm manager, the resident apps, and the power monitor all schedule
+// callbacks here. Single-threaded by design — determinism is what lets the
+// paper's "three runs, averaged" protocol be exactly reproducible.
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace simty::sim {
+
+/// Event loop with a virtual microsecond clock.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Starts at the origin and only moves forward.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (must be >= now()).
+  EventId schedule_at(TimePoint when, EventCallback cb,
+                      EventPriority priority = EventPriority::kFramework,
+                      std::string label = "");
+
+  /// Schedules `cb` after a non-negative delay from now().
+  EventId schedule_after(Duration delay, EventCallback cb,
+                         EventPriority priority = EventPriority::kFramework,
+                         std::string label = "");
+
+  /// Cancels a pending event; false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  /// Runs events with time <= `until`, then advances the clock to `until`
+  /// even if the queue drains early (so end-of-run power integration covers
+  /// the full horizon).
+  void run_until(TimePoint until);
+
+  /// Runs until the event queue is empty.
+  void run_all();
+
+  /// Runs exactly one event if any is pending; returns false on empty queue.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  TimePoint now_ = TimePoint::origin();
+  EventQueue queue_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace simty::sim

@@ -1,0 +1,57 @@
+#pragma once
+// Delivery-trace logging: the C++ analogue of the hooks the paper inserted
+// into AlarmManager and the WakeLock API "to log every alarm's time
+// attributes and hardware usage at runtime" (§4.1). The logger captures
+// DeliveryRecords as structured rows; logs round-trip through CSV so traces
+// can be archived, diffed between policies, and replayed as imitated apps.
+
+#include <string>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "apps/trace_replay.hpp"
+#include "apps/workload.hpp"
+
+namespace simty::trace {
+
+/// In-memory delivery trace with CSV (de)serialization.
+class DeliveryLog {
+ public:
+  void observe(const alarm::DeliveryRecord& record);
+  alarm::DeliveryObserver observer();
+
+  const std::vector<alarm::DeliveryRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Serializes to CSV (one row per delivery).
+  std::string to_csv() const;
+
+  /// Parses a CSV produced by to_csv(); throws std::runtime_error on
+  /// malformed input.
+  static DeliveryLog from_csv(const std::string& csv);
+
+  /// File convenience wrappers.
+  void save(const std::string& path) const;
+  static DeliveryLog load(const std::string& path);
+
+  /// Extracts the per-delivery (hardware, hold) behaviour of one alarm tag
+  /// as an AppTrace, ready to drive an ImitatedApp — the paper's
+  /// trace-replay methodology end to end. Throws when the tag never
+  /// delivered.
+  apps::AppTrace app_trace(const std::string& tag) const;
+
+ private:
+  std::vector<alarm::DeliveryRecord> records_;
+};
+
+/// Reconstructs a replayable workload from a recorded delivery log: one
+/// imitated app per distinct repeating wakeup tag, with the alarm's
+/// attributes (mode, repeating interval, alpha) recovered from the records
+/// and the observed holds replayed verbatim. One-shot records are skipped
+/// (they come from system sources and retries, which re-generate them).
+/// The full record-run-under-one-policy / replay-under-another workflow of
+/// §4.1, as a single call.
+apps::Workload workload_from_log(const DeliveryLog& log,
+                                 const apps::WorkloadConfig& config);
+
+}  // namespace simty::trace

@@ -1,0 +1,70 @@
+#include "usage/day_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace simty::usage {
+
+double DayResult::standby_time_share() const {
+  return standby_time.ratio(day_length());
+}
+
+double DayResult::standby_energy_share() const {
+  return standby_energy.ratio(total_energy());
+}
+
+double DayResult::battery_days(Energy capacity) const {
+  SIMTY_CHECK(total_energy() > Energy::zero());
+  return capacity.ratio(total_energy());
+}
+
+std::vector<InteractiveSession> sample_sessions(const UsagePattern& pattern,
+                                                std::uint64_t seed) {
+  SIMTY_CHECK(pattern.mean_session_gap > Duration::zero());
+  SIMTY_CHECK(pattern.mean_session_length > Duration::zero());
+  SIMTY_CHECK(pattern.night_end < pattern.night_start);
+
+  Rng rng(seed, 0xDA7);
+  std::vector<InteractiveSession> sessions;
+
+  TimePoint t = TimePoint::origin() + pattern.night_end;  // user wakes up
+  while (true) {
+    const Duration gap =
+        Duration::from_seconds(rng.exponential(pattern.mean_session_gap.seconds_f()));
+    t += gap;
+    if (t - TimePoint::origin() >= pattern.night_start) break;  // bedtime
+    Duration length = Duration::from_seconds(
+        rng.exponential(pattern.mean_session_length.seconds_f()));
+    length = std::max(length, Duration::seconds(10));
+    // Clip at bedtime.
+    const Duration until_night =
+        (TimePoint::origin() + pattern.night_start) - t;
+    length = std::min(length, until_night);
+    sessions.push_back(InteractiveSession{t, length});
+    t += length;
+  }
+  return sessions;
+}
+
+DayResult simulate_day(const exp::ExperimentConfig& standby_config,
+                       const UsagePattern& pattern, std::uint64_t seed) {
+  // Measure the standby power with the full simulation stack.
+  exp::ExperimentConfig c = standby_config;
+  c.seed = seed;
+  const exp::RunResult standby = exp::run_experiment(c);
+
+  DayResult day;
+  day.standby_power_mw = standby.average_power_mw;
+  day.sessions = sample_sessions(pattern, seed);
+  for (const InteractiveSession& s : day.sessions) {
+    day.interactive_time += s.length;
+  }
+  day.standby_time = Duration::hours(24) - day.interactive_time;
+  day.interactive_energy = pattern.interactive_power * day.interactive_time;
+  day.standby_energy =
+      Power::milliwatts(day.standby_power_mw) * day.standby_time;
+  return day;
+}
+
+}  // namespace simty::usage

@@ -1,0 +1,62 @@
+#pragma once
+// Event-driven interactive sessions: drives sampled user sessions into a
+// live simulation — each session wakes the device with a button press and
+// holds a CPU lock plus the screen for its length. Unlike the analytic
+// composition in day_model, this lets alarms, pushes, and NON-WAKEUP
+// deliveries interleave with real screen-on periods: the §2.1 behaviour
+// where non-wakeup alarms ride user interactions becomes measurable over
+// a whole day.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/wakelock.hpp"
+#include "sim/simulator.hpp"
+#include "usage/day_model.hpp"
+
+namespace simty::usage {
+
+/// Schedules interactive sessions into a running simulation.
+class InteractiveDriver {
+ public:
+  InteractiveDriver(sim::Simulator& sim, hw::Device& device,
+                    hw::WakelockManager& wakelocks);
+
+  InteractiveDriver(const InteractiveDriver&) = delete;
+  InteractiveDriver& operator=(const InteractiveDriver&) = delete;
+
+  /// Schedules every session (all starts must be in the future).
+  void schedule(const std::vector<InteractiveSession>& sessions);
+
+  std::uint64_t sessions_completed() const { return completed_; }
+  Duration screen_on_time() const { return screen_on_; }
+
+ private:
+  void run_session(InteractiveSession session);
+
+  sim::Simulator& sim_;
+  hw::Device& device_;
+  hw::WakelockManager& wakelocks_;
+  std::uint64_t completed_ = 0;
+  Duration screen_on_ = Duration::zero();
+};
+
+/// One day of MIXED simulation: the standby workload of `standby_config`
+/// plus real interactive sessions sampled from `pattern`, in one 24-hour
+/// discrete-event run.
+struct MixedDayResult {
+  power::EnergyBreakdown energy;
+  Duration screen_on_time = Duration::zero();
+  std::uint64_t sessions = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t user_wakeups = 0;        // button-initiated
+  double deliveries = 0.0;
+  double nonwakeup_deliveries = 0.0;     // rode a wakeup or a session
+  double battery_days(Energy capacity) const;
+};
+
+MixedDayResult simulate_day_mixed(const exp::ExperimentConfig& standby_config,
+                                  const UsagePattern& pattern, std::uint64_t seed);
+
+}  // namespace simty::usage

@@ -1,0 +1,146 @@
+#include "alarm/alarm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::alarm {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+
+AlarmSpec wifi_sync() {
+  return AlarmSpec::repeating("line.sync", AppId{1}, RepeatMode::kDynamic,
+                              Duration::seconds(200), 0.75, 0.96);
+}
+
+TEST(AlarmSpec, RepeatingFactoryComputesIntervals) {
+  const AlarmSpec s = wifi_sync();
+  EXPECT_EQ(s.repeat_interval, Duration::seconds(200));
+  EXPECT_EQ(s.window_length, Duration::seconds(150));   // alpha = 0.75
+  EXPECT_EQ(s.grace_length, Duration::seconds(192));    // beta = 0.96
+  EXPECT_EQ(s.mode, RepeatMode::kDynamic);
+}
+
+TEST(AlarmSpec, OneShotFactory) {
+  const AlarmSpec s = AlarmSpec::one_shot("reminder", AppId{2}, Duration::seconds(30));
+  EXPECT_EQ(s.mode, RepeatMode::kOneShot);
+  EXPECT_EQ(s.repeat_interval, Duration::zero());
+  EXPECT_EQ(s.window_length, Duration::seconds(30));
+}
+
+TEST(AlarmSpec, ValidationRejectsBadShapes) {
+  // Grace smaller than window violates §3.1.2.
+  AlarmSpec s = wifi_sync();
+  s.grace_length = Duration::seconds(100);
+  EXPECT_THROW(s.validate(), std::logic_error);
+
+  // Grace must stay below the repeating interval.
+  s = wifi_sync();
+  s.grace_length = Duration::seconds(200);
+  EXPECT_THROW(s.validate(), std::logic_error);
+
+  // Window must stay below the repeating interval.
+  s = wifi_sync();
+  s.window_length = Duration::seconds(250);
+  EXPECT_THROW(s.validate(), std::logic_error);
+
+  // One-shot alarms carry no repeating interval.
+  s = AlarmSpec::one_shot("x", AppId{1}, Duration::seconds(5));
+  s.repeat_interval = Duration::seconds(10);
+  EXPECT_THROW(s.validate(), std::logic_error);
+
+  // Empty tags are rejected.
+  s = wifi_sync();
+  s.tag.clear();
+  EXPECT_THROW(s.validate(), std::logic_error);
+
+  // Alpha = 0 (zero-length window) is legal — Table 3 is full of them.
+  EXPECT_NO_THROW(AlarmSpec::repeating("fb", AppId{3}, RepeatMode::kDynamic,
+                                       Duration::seconds(60), 0.0, 0.96));
+}
+
+TEST(Alarm, WindowAndGraceIntervalsStartAtNominal) {
+  Alarm a(AlarmId{1}, wifi_sync(), at(1000));
+  EXPECT_EQ(a.window_interval(),
+            (TimeInterval{at(1000), at(1150)}));
+  // Newly registered -> hardware unknown -> perceptible -> grace == window.
+  EXPECT_TRUE(a.perceptible());
+  EXPECT_EQ(a.grace_interval(), a.window_interval());
+
+  a.record_delivery(hw::ComponentSet{hw::Component::kWifi}, Duration::seconds(3));
+  EXPECT_FALSE(a.perceptible());
+  EXPECT_EQ(a.grace_interval(), (TimeInterval{at(1000), at(1192)}));
+}
+
+TEST(Alarm, PerceptibilityRules) {
+  // Footnote 5: one-shot alarms are always perceptible.
+  Alarm oneshot(AlarmId{1}, AlarmSpec::one_shot("x", AppId{1}, Duration::seconds(5)),
+                at(10));
+  EXPECT_TRUE(oneshot.perceptible());
+  oneshot.record_delivery(hw::ComponentSet{hw::Component::kWifi}, Duration::seconds(1));
+  EXPECT_TRUE(oneshot.perceptible());
+
+  // Repeating alarms become imperceptible once known to wakelock only
+  // imperceptible hardware...
+  Alarm rep(AlarmId{2}, wifi_sync(), at(10));
+  EXPECT_TRUE(rep.perceptible());
+  rep.record_delivery(hw::ComponentSet{hw::Component::kWifi}, Duration::seconds(3));
+  EXPECT_FALSE(rep.perceptible());
+
+  // ...and stay perceptible when they use the speaker/vibrator.
+  Alarm bell(AlarmId{3},
+             AlarmSpec::repeating("clock", AppId{2}, RepeatMode::kStatic,
+                                  Duration::seconds(1800), 0.0, 0.96),
+             at(10));
+  bell.record_delivery(
+      hw::ComponentSet{hw::Component::kSpeaker, hw::Component::kVibrator},
+      Duration::seconds(1));
+  EXPECT_TRUE(bell.perceptible());
+
+  // An empty learned set (CPU-only task) is imperceptible.
+  Alarm quiet(AlarmId{4}, wifi_sync(), at(10));
+  quiet.record_delivery(hw::ComponentSet::none(), Duration::zero());
+  EXPECT_FALSE(quiet.perceptible());
+}
+
+TEST(Alarm, RecordDeliveryUpdatesProfile) {
+  Alarm a(AlarmId{1}, wifi_sync(), at(10));
+  EXPECT_FALSE(a.hardware_known());
+  EXPECT_EQ(a.delivery_count(), 0u);
+
+  a.record_delivery(hw::ComponentSet{hw::Component::kWifi}, Duration::seconds(4));
+  EXPECT_TRUE(a.hardware_known());
+  EXPECT_EQ(a.hardware(), (hw::ComponentSet{hw::Component::kWifi}));
+  EXPECT_EQ(a.delivery_count(), 1u);
+  EXPECT_EQ(a.expected_hold(), Duration::seconds(4));
+
+  // EMA drifts toward recent holds.
+  a.record_delivery(hw::ComponentSet{hw::Component::kWifi}, Duration::seconds(8));
+  EXPECT_EQ(a.expected_hold(), Duration::seconds(5));  // (4*3 + 8)/4
+}
+
+TEST(Alarm, RescheduleMovesNominal) {
+  Alarm a(AlarmId{1}, wifi_sync(), at(10));
+  a.reschedule(at(210));
+  EXPECT_EQ(a.nominal(), at(210));
+  EXPECT_EQ(a.window_interval().start(), at(210));
+}
+
+TEST(Alarm, ZeroWindowAlarmHasPointWindow) {
+  Alarm a(AlarmId{1},
+          AlarmSpec::repeating("fb", AppId{1}, RepeatMode::kDynamic,
+                               Duration::seconds(60), 0.0, 0.96),
+          at(60));
+  EXPECT_EQ(a.window_interval(), TimeInterval::point(at(60)));
+  EXPECT_FALSE(a.window_interval().is_empty());
+}
+
+TEST(AlarmEnums, Names) {
+  EXPECT_STREQ(to_string(AlarmKind::kWakeup), "wakeup");
+  EXPECT_STREQ(to_string(AlarmKind::kNonWakeup), "non-wakeup");
+  EXPECT_STREQ(to_string(RepeatMode::kStatic), "static");
+  EXPECT_STREQ(to_string(RepeatMode::kDynamic), "dynamic");
+  EXPECT_STREQ(to_string(RepeatMode::kOneShot), "one-shot");
+}
+
+}  // namespace
+}  // namespace simty::alarm

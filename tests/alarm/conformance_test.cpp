@@ -1,0 +1,212 @@
+// Android-semantics conformance: corner cases of the AlarmManager contract
+// described in §2.1 — realignment on re-registration, window intersection
+// monotonicity, dynamic-drift accumulation, mixed wakeup/non-wakeup
+// behaviour, and delivery ordering under coalesced wakeups.
+
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "alarm/simty_policy.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::alarm {
+namespace {
+
+using hw::Component;
+using hw::ComponentSet;
+
+class ConformanceTest : public test::FrameworkFixture {};
+
+TEST_F(ConformanceTest, BatchWindowShrinksMonotonicallyAsMembersJoin) {
+  init(std::make_unique<NativePolicy>());
+  // Three alarms with telescoping windows; the entry window is always the
+  // intersection so it can only shrink.
+  manager_->register_alarm(
+      AlarmSpec::repeating("a", AppId{1}, RepeatMode::kStatic,
+                           Duration::seconds(1000), 0.6, 0.9),
+      at(100), noop_task());
+  const auto& q = manager_->queue(AlarmKind::kWakeup);
+  ASSERT_EQ(q.size(), 1u);
+  const TimeInterval w1 = q[0]->window_interval();
+
+  manager_->register_alarm(
+      AlarmSpec::repeating("b", AppId{2}, RepeatMode::kStatic,
+                           Duration::seconds(1000), 0.6, 0.9),
+      at(300), noop_task());
+  ASSERT_EQ(q.size(), 1u);
+  const TimeInterval w2 = q[0]->window_interval();
+  EXPECT_TRUE(w1.intersect(w2) == w2);  // w2 subseteq w1
+  EXPECT_GE(w2.start(), w1.start());
+  EXPECT_LE(w2.end(), w1.end());
+
+  manager_->register_alarm(
+      AlarmSpec::repeating("c", AppId{3}, RepeatMode::kStatic,
+                           Duration::seconds(1000), 0.6, 0.9),
+      at(500), noop_task());
+  ASSERT_EQ(q.size(), 1u);
+  const TimeInterval w3 = q[0]->window_interval();
+  EXPECT_TRUE(w2.intersect(w3) == w3);
+}
+
+TEST_F(ConformanceTest, ReRegistrationRealignsRemainingMembers) {
+  init(std::make_unique<NativePolicy>());
+  // a, b, c share an entry. Re-registering b far away must dissolve the
+  // entry and rebatch {a, c} — who still overlap and re-merge.
+  const AlarmId a = manager_->register_alarm(
+      AlarmSpec::repeating("a", AppId{1}, RepeatMode::kStatic,
+                           Duration::seconds(1000), 0.5, 0.9),
+      at(100), noop_task());
+  const AlarmId b = manager_->register_alarm(
+      AlarmSpec::repeating("b", AppId{2}, RepeatMode::kStatic,
+                           Duration::seconds(1000), 0.5, 0.9),
+      at(200), noop_task());
+  const AlarmId c = manager_->register_alarm(
+      AlarmSpec::repeating("c", AppId{3}, RepeatMode::kStatic,
+                           Duration::seconds(1000), 0.5, 0.9),
+      at(300), noop_task());
+  ASSERT_EQ(manager_->queue(AlarmKind::kWakeup).size(), 1u);
+
+  manager_->set(b, at(5000));
+  const auto& q = manager_->queue(AlarmKind::kWakeup);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q[0]->contains(a));
+  EXPECT_TRUE(q[0]->contains(c));
+  EXPECT_TRUE(q[1]->contains(b));
+  EXPECT_GE(manager_->stats().realignments, 1u);
+}
+
+TEST_F(ConformanceTest, DynamicDriftAccumulatesAcrossDeliveries) {
+  init(std::make_unique<NativePolicy>());
+  // A dynamic alpha=0 alarm re-anchors at each actual delivery, so the
+  // wake latency compounds: after k deliveries the nominal grid has
+  // drifted by ~k * latency (§4.2's dynamic-alarm observation).
+  const AlarmId id = manager_->register_alarm(
+      AlarmSpec::repeating("drift", AppId{1}, RepeatMode::kDynamic,
+                           Duration::seconds(100), 0.0, 0.5),
+      at(100), noop_task());
+  sim_.run_until(at(1000));
+  const auto recs = deliveries_of(id);
+  ASSERT_GE(recs.size(), 8u);
+  const Duration latency = model_.wake_latency;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const TimePoint expected =
+        at(100) + Duration::seconds(100) * i + latency * (i + 1);
+    EXPECT_EQ(recs[i].delivered, expected) << i;
+  }
+  // A static alarm with the same parameters stays on the grid.
+  deliveries_.clear();
+  const AlarmId sid = manager_->register_alarm(
+      AlarmSpec::repeating("grid", AppId{2}, RepeatMode::kStatic,
+                           Duration::seconds(100), 0.0, 0.5),
+      at(1100), noop_task());
+  sim_.run_until(at(2000));
+  for (const auto& r : deliveries_of(sid)) {
+    EXPECT_EQ(r.delivered, r.nominal + latency);
+    EXPECT_EQ((r.nominal - at(1100)).us() % Duration::seconds(100).us(), 0);
+  }
+}
+
+TEST_F(ConformanceTest, CoalescedWakeupDeliversBatchesInDeliveryTimeOrder) {
+  init(std::make_unique<alarm::NativePolicy>());
+  // Two disjoint entries 100 ms apart: the wake latency (250 ms) merges
+  // them into one wakeup, delivered oldest-first.
+  const AlarmId a = manager_->register_alarm(
+      AlarmSpec::one_shot("first", AppId{1}, Duration::zero()), at(100),
+      noop_task());
+  const AlarmId b = manager_->register_alarm(
+      AlarmSpec::one_shot("second", AppId{2}, Duration::zero()),
+      at(100) + Duration::millis(100), noop_task());
+  sim_.run_until(at(200));
+  EXPECT_EQ(device_->wakeup_count(), 1u);
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(deliveries_[0].id, a);
+  EXPECT_EQ(deliveries_[1].id, b);
+  EXPECT_EQ(deliveries_[0].delivered, deliveries_[1].delivered);
+}
+
+TEST_F(ConformanceTest, NonWakeupNeverTriggersRtc) {
+  init(std::make_unique<NativePolicy>());
+  AlarmSpec spec = AlarmSpec::repeating("nw", AppId{1}, RepeatMode::kStatic,
+                                        Duration::seconds(300), 0.5, 0.9);
+  spec.kind = AlarmKind::kNonWakeup;
+  manager_->register_alarm(spec, at(300), noop_task());
+  EXPECT_FALSE(rtc_->programmed().has_value());
+  sim_.run_until(at(7200));
+  EXPECT_EQ(device_->wakeup_count(), 0u);
+  EXPECT_TRUE(deliveries_.empty());
+}
+
+TEST_F(ConformanceTest, NonWakeupDeliveredRepeatedlyWhileAwake) {
+  init(std::make_unique<NativePolicy>());
+  // Keep the device awake for 10 minutes with one long task; a 2-minute
+  // non-wakeup alarm then fires repeatedly at its own pace (§3.2.2: the
+  // non-wakeup discussion "can be directly applied... when the device
+  // stays awake").
+  manager_->register_alarm(
+      AlarmSpec::one_shot("busy", AppId{1}, Duration::seconds(5)), at(100),
+      task(ComponentSet{Component::kWifi}, Duration::seconds(600)));
+  AlarmSpec spec = AlarmSpec::repeating("nw", AppId{2}, RepeatMode::kStatic,
+                                        Duration::seconds(120), 0.1, 0.5);
+  spec.kind = AlarmKind::kNonWakeup;
+  const AlarmId nw = manager_->register_alarm(spec, at(200), noop_task());
+  sim_.run_until(at(760));
+  const auto recs = deliveries_of(nw);
+  ASSERT_GE(recs.size(), 4u);
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.delivered, r.nominal);  // device awake: no latency at all
+  }
+}
+
+TEST_F(ConformanceTest, SimtyNeverBeatsWindowStartEvenWithGraceRoom) {
+  init(std::make_unique<SimtyPolicy>());
+  // Grace intervals allow postponement, never advancement: an alarm with a
+  // huge grace still cannot fire before its nominal time.
+  const AlarmId id = manager_->register_alarm(
+      AlarmSpec::repeating("sync", AppId{1}, RepeatMode::kStatic,
+                           Duration::seconds(600), 0.1, 0.96),
+      at(600), task(ComponentSet{Component::kWifi}, Duration::seconds(1)));
+  manager_->register_alarm(
+      AlarmSpec::repeating("early", AppId{2}, RepeatMode::kStatic,
+                           Duration::seconds(600), 0.1, 0.96),
+      at(400), task(ComponentSet{Component::kWifi}, Duration::seconds(1)));
+  sim_.run_until(at(3600));
+  for (const auto& r : deliveries_of(id)) {
+    EXPECT_GE(r.delivered, r.nominal);
+  }
+}
+
+TEST_F(ConformanceTest, CancelDuringWakeTransitionIsSafe) {
+  init(std::make_unique<NativePolicy>());
+  const AlarmId id = manager_->register_alarm(
+      AlarmSpec::one_shot("gone", AppId{1}, Duration::seconds(5)), at(100),
+      noop_task());
+  // Cancel mid wake-transition (RTC fired at 100, device usable at 100.25).
+  sim_.schedule_at(at(100) + Duration::millis(100), [&] { manager_->cancel(id); });
+  sim_.run_until(at(200));
+  EXPECT_TRUE(deliveries_.empty());
+  // The device still completed its (now pointless) wakeup and went back to
+  // sleep — exactly what a real phone does.
+  EXPECT_EQ(device_->wakeup_count(), 1u);
+  EXPECT_EQ(device_->state(), hw::DeviceState::kAsleep);
+}
+
+TEST_F(ConformanceTest, ZeroWindowAlarmsOnlyMergeWhenNominalsCoincide) {
+  init(std::make_unique<NativePolicy>());
+  manager_->register_alarm(
+      AlarmSpec::repeating("a", AppId{1}, RepeatMode::kStatic,
+                           Duration::seconds(600), 0.0, 0.5),
+      at(100), noop_task());
+  manager_->register_alarm(
+      AlarmSpec::repeating("b", AppId{2}, RepeatMode::kStatic,
+                           Duration::seconds(600), 0.0, 0.5),
+      at(100), noop_task());
+  manager_->register_alarm(
+      AlarmSpec::repeating("c", AppId{3}, RepeatMode::kStatic,
+                           Duration::seconds(600), 0.0, 0.5),
+      at(101), noop_task());
+  // a and b share a point window -> one entry; c is 1 s off -> its own.
+  EXPECT_EQ(manager_->queue(AlarmKind::kWakeup).size(), 2u);
+}
+
+}  // namespace
+}  // namespace simty::alarm

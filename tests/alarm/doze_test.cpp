@@ -1,0 +1,125 @@
+#include "alarm/doze.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "alarm/simty_policy.hpp"
+#include "metrics/interval_audit.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::alarm {
+namespace {
+
+using hw::Component;
+using hw::ComponentSet;
+
+class DozeTest : public test::FrameworkFixture {
+ protected:
+  DozeController::Config quick_config() {
+    DozeController::Config c;
+    c.idle_threshold = Duration::minutes(10);
+    c.window_schedule = {Duration::minutes(20), Duration::minutes(40)};
+    return c;
+  }
+};
+
+TEST_F(DozeTest, EngagesAfterIdleThreshold) {
+  init(std::make_unique<SimtyPolicy>());
+  DozeController doze(sim_, *manager_, *device_, quick_config());
+  doze.enable();
+  EXPECT_FALSE(doze.dozing());
+  sim_.run_until(at(11 * 60));
+  EXPECT_TRUE(doze.dozing());
+  EXPECT_EQ(doze.doze_entries(), 1u);
+}
+
+TEST_F(DozeTest, DefersWakeupsToMaintenanceWindows) {
+  init(std::make_unique<SimtyPolicy>());
+  DozeController doze(sim_, *manager_, *device_, quick_config());
+  doze.enable();
+  // A 5-minute sync that would fire 12 times in an hour undozed.
+  const AlarmId id = manager_->register_alarm(
+      AlarmSpec::repeating("sync", AppId{1}, RepeatMode::kDynamic,
+                           Duration::seconds(300), 0.0, 0.5),
+      at(300), task(ComponentSet{Component::kWifi}, Duration::seconds(1)));
+  sim_.run_until(at(3 * 3600));
+  // Doze engaged at 10 min; windows at ~30 min then every 40 min. The sync
+  // fires once per window instead of every 5 minutes.
+  const auto recs = deliveries_of(id);
+  ASSERT_GE(recs.size(), 3u);
+  EXPECT_LE(recs.size(), 10u);  // far below the 36 undozed deliveries
+  EXPECT_GT(doze.maintenance_windows(), 2u);
+  // Consecutive deliveries in doze are a maintenance interval apart.
+  bool saw_window_gap = false;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    const Duration gap = recs[i].delivered - recs[i - 1].delivered;
+    if (gap >= Duration::minutes(19)) saw_window_gap = true;
+  }
+  EXPECT_TRUE(saw_window_gap);
+}
+
+TEST_F(DozeTest, ExternalWakeExitsDoze) {
+  init(std::make_unique<SimtyPolicy>());
+  DozeController doze(sim_, *manager_, *device_, quick_config());
+  doze.enable();
+  sim_.run_until(at(15 * 60));
+  ASSERT_TRUE(doze.dozing());
+  // The user presses the power button.
+  device_->request_awake(hw::WakeReason::kUserButton, [] {});
+  sim_.run_until(at(16 * 60));
+  EXPECT_FALSE(doze.dozing());
+  // ...and doze re-engages after another idle threshold.
+  sim_.run_until(at(27 * 60));
+  EXPECT_TRUE(doze.dozing());
+  EXPECT_EQ(doze.doze_entries(), 2u);
+}
+
+TEST_F(DozeTest, BreaksPeriodicityGuaranteesMeasurably) {
+  // The point of the comparison: doze violates the §3.2.2 bounds that
+  // SIMTY preserves.
+  init(std::make_unique<SimtyPolicy>());
+  metrics::IntervalAudit audit;
+  manager_->add_delivery_observer(audit.observer());
+  DozeController doze(sim_, *manager_, *device_, quick_config());
+  doze.enable();
+  manager_->register_alarm(
+      AlarmSpec::repeating("sync", AppId{1}, RepeatMode::kDynamic,
+                           Duration::seconds(300), 0.75, 0.96),
+      at(300), task(ComponentSet{Component::kWifi}, Duration::seconds(1)));
+  sim_.run_until(at(3 * 3600));
+  EXPECT_FALSE(audit.check_bounds(0.96).empty());
+  EXPECT_GT(audit.worst_gap_ratio(), 1.96);
+}
+
+TEST_F(DozeTest, GateNeverAdvancesWakeups) {
+  init(std::make_unique<NativePolicy>());
+  // A gate that tried to advance would trip the manager's check; the doze
+  // gate only defers — deliveries never happen before their nominal times.
+  DozeController doze(sim_, *manager_, *device_, quick_config());
+  doze.enable();
+  manager_->register_alarm(
+      AlarmSpec::repeating("sync", AppId{1}, RepeatMode::kStatic,
+                           Duration::seconds(600), 0.5, 0.9),
+      at(600), noop_task());
+  sim_.run_until(at(2 * 3600));
+  for (const auto& r : deliveries_) EXPECT_GE(r.delivered, r.nominal);
+}
+
+TEST_F(DozeTest, ConfigValidation) {
+  init(std::make_unique<NativePolicy>());
+  DozeController::Config c;
+  c.idle_threshold = Duration::zero();
+  EXPECT_THROW(DozeController(sim_, *manager_, *device_, c), std::logic_error);
+  c = DozeController::Config{};
+  c.window_schedule.clear();
+  EXPECT_THROW(DozeController(sim_, *manager_, *device_, c), std::logic_error);
+  c = DozeController::Config{};
+  c.window_schedule = {Duration::zero()};
+  EXPECT_THROW(DozeController(sim_, *manager_, *device_, c), std::logic_error);
+  DozeController ok(sim_, *manager_, *device_, DozeController::Config{});
+  ok.enable();
+  EXPECT_THROW(ok.enable(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simty::alarm

@@ -1,0 +1,166 @@
+// Algebraic properties of the similarity classification, swept over every
+// pair of hardware subsets drawn from a 4-component universe (256 pairs)
+// and randomized interval pairs: symmetry, self-similarity extremes,
+// cross-mode consistency, and rank monotonicity. These hold by design of
+// §3.1 and must survive any future refactor of the classification.
+
+#include <gtest/gtest.h>
+
+#include "alarm/similarity.hpp"
+#include "common/rng.hpp"
+
+namespace simty::alarm {
+namespace {
+
+using hw::Component;
+using hw::ComponentSet;
+
+ComponentSet set_from_bits(unsigned bits) {
+  const Component universe[] = {Component::kWifi, Component::kWps,
+                                Component::kAccelerometer, Component::kVibrator};
+  ComponentSet s;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (bits & (1u << i)) s.insert(universe[i]);
+  }
+  return s;
+}
+
+TEST(SimilarityAlgebra, HardwareSimilarityIsSymmetric) {
+  const SimilarityConfig cfg;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      const ComponentSet sa = set_from_bits(a);
+      const ComponentSet sb = set_from_bits(b);
+      EXPECT_EQ(hardware_similarity(sa, sb), hardware_similarity(sb, sa))
+          << sa.to_string() << " vs " << sb.to_string();
+      for (const auto mode :
+           {HardwareSimilarityMode::kTwoLevel, HardwareSimilarityMode::kThreeLevel,
+            HardwareSimilarityMode::kFourLevel}) {
+        SimilarityConfig c;
+        c.hw_mode = mode;
+        EXPECT_EQ(hardware_grade(sa, sb, c), hardware_grade(sb, sa, c))
+            << to_string(mode);
+      }
+    }
+  }
+}
+
+TEST(SimilarityAlgebra, SelfSimilarityIsBestUnlessEmpty) {
+  for (unsigned a = 1; a < 16; ++a) {
+    const ComponentSet s = set_from_bits(a);
+    EXPECT_EQ(hardware_similarity(s, s), SimilarityLevel::kHigh);
+    for (const auto mode :
+         {HardwareSimilarityMode::kTwoLevel, HardwareSimilarityMode::kThreeLevel,
+          HardwareSimilarityMode::kFourLevel}) {
+      SimilarityConfig c;
+      c.hw_mode = mode;
+      EXPECT_EQ(hardware_grade(s, s, c), 0) << to_string(mode);
+    }
+  }
+  // Empty-vs-empty is Low everywhere (§3.1.1: "identical AND not empty").
+  EXPECT_EQ(hardware_similarity(ComponentSet::none(), ComponentSet::none()),
+            SimilarityLevel::kLow);
+}
+
+TEST(SimilarityAlgebra, GradesBoundedByModeMaximum) {
+  for (const auto mode :
+       {HardwareSimilarityMode::kTwoLevel, HardwareSimilarityMode::kThreeLevel,
+        HardwareSimilarityMode::kFourLevel}) {
+    SimilarityConfig c;
+    c.hw_mode = mode;
+    for (unsigned a = 0; a < 16; ++a) {
+      for (unsigned b = 0; b < 16; ++b) {
+        const int g = hardware_grade(set_from_bits(a), set_from_bits(b), c);
+        EXPECT_GE(g, 0);
+        EXPECT_LE(g, max_hardware_grade(mode));
+      }
+    }
+  }
+}
+
+TEST(SimilarityAlgebra, ModesAgreeOnExtremes) {
+  // Wherever 3-level says High (resp. Low), every mode gives its best
+  // (resp. worst) grade: the modes only disagree inside "Medium".
+  SimilarityConfig two, three, four;
+  two.hw_mode = HardwareSimilarityMode::kTwoLevel;
+  four.hw_mode = HardwareSimilarityMode::kFourLevel;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      const ComponentSet sa = set_from_bits(a);
+      const ComponentSet sb = set_from_bits(b);
+      const SimilarityLevel l3 = hardware_similarity(sa, sb);
+      if (l3 == SimilarityLevel::kHigh) {
+        EXPECT_EQ(hardware_grade(sa, sb, two), 0);
+        EXPECT_EQ(hardware_grade(sa, sb, four), 0);
+      }
+      if (l3 == SimilarityLevel::kLow) {
+        EXPECT_EQ(hardware_grade(sa, sb, two),
+                  max_hardware_grade(HardwareSimilarityMode::kTwoLevel));
+        EXPECT_EQ(hardware_grade(sa, sb, four),
+                  max_hardware_grade(HardwareSimilarityMode::kFourLevel));
+      }
+    }
+  }
+}
+
+TEST(SimilarityAlgebra, FourLevelRefinesThreeLevelOrder) {
+  // The 4-level grade never inverts a strict 3-level ordering: if 3-level
+  // ranks pair P strictly better than pair Q, 4-level does too.
+  SimilarityConfig three, four;
+  four.hw_mode = HardwareSimilarityMode::kFourLevel;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      for (unsigned x = 0; x < 16; ++x) {
+        for (unsigned y = 0; y < 16; ++y) {
+          const int g3p = hardware_grade(set_from_bits(a), set_from_bits(b), three);
+          const int g3q = hardware_grade(set_from_bits(x), set_from_bits(y), three);
+          if (g3p < g3q) {
+            EXPECT_LT(hardware_grade(set_from_bits(a), set_from_bits(b), four),
+                      hardware_grade(set_from_bits(x), set_from_bits(y), four));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilarityAlgebra, TimeSimilarityIsSymmetricOnRandomIntervals) {
+  Rng rng(0x7157);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto make = [&](TimePoint& nominal, Duration& win, Duration& grace) {
+      nominal = TimePoint::from_us(static_cast<std::int64_t>(rng.next_below(1000)) *
+                                   1'000'000);
+      win = Duration::seconds(rng.next_below(200));
+      grace = win + Duration::seconds(rng.next_below(200));
+    };
+    TimePoint na, nb;
+    Duration wa, ga, wb, gb;
+    make(na, wa, ga);
+    make(nb, wb, gb);
+    const TimeInterval win_a = TimeInterval::from_length(na, wa);
+    const TimeInterval grace_a = TimeInterval::from_length(na, ga);
+    const TimeInterval win_b = TimeInterval::from_length(nb, wb);
+    const TimeInterval grace_b = TimeInterval::from_length(nb, gb);
+    EXPECT_EQ(time_similarity(win_a, grace_a, win_b, grace_b),
+              time_similarity(win_b, grace_b, win_a, grace_a));
+    // High implies the graces overlap too (windows are inside graces), so
+    // the classification is internally consistent.
+    if (time_similarity(win_a, grace_a, win_b, grace_b) == SimilarityLevel::kHigh) {
+      EXPECT_TRUE(grace_a.overlaps(grace_b));
+    }
+  }
+}
+
+TEST(SimilarityAlgebra, RankIsStrictlyMonotoneInBothKeys) {
+  for (int hw = 0; hw < 3; ++hw) {
+    EXPECT_LT(preferability_rank(hw, SimilarityLevel::kHigh),
+              preferability_rank(hw, SimilarityLevel::kMedium));
+    if (hw > 0) {
+      EXPECT_LT(preferability_rank(hw - 1, SimilarityLevel::kMedium),
+                preferability_rank(hw, SimilarityLevel::kHigh));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simty::alarm

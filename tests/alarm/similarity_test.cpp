@@ -1,0 +1,196 @@
+#include "alarm/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::alarm {
+namespace {
+
+using hw::Component;
+using hw::ComponentSet;
+
+TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+
+// ---------------------------------------------------------------- hardware
+
+TEST(HardwareSimilarity, HighRequiresIdenticalNonEmpty) {
+  const ComponentSet wifi{Component::kWifi};
+  EXPECT_EQ(hardware_similarity(wifi, wifi), SimilarityLevel::kHigh);
+  const ComponentSet pair{Component::kWifi, Component::kWps};
+  EXPECT_EQ(hardware_similarity(pair, pair), SimilarityLevel::kHigh);
+  // Identical but EMPTY sets are low, not high (§3.1.1).
+  EXPECT_EQ(hardware_similarity(ComponentSet::none(), ComponentSet::none()),
+            SimilarityLevel::kLow);
+}
+
+TEST(HardwareSimilarity, MediumIsPartialOverlap) {
+  const ComponentSet a{Component::kWifi, Component::kWps};
+  const ComponentSet b{Component::kWifi};
+  EXPECT_EQ(hardware_similarity(a, b), SimilarityLevel::kMedium);
+  EXPECT_EQ(hardware_similarity(b, a), SimilarityLevel::kMedium);
+}
+
+TEST(HardwareSimilarity, LowForDisjointOrEmpty) {
+  const ComponentSet a{Component::kWifi};
+  const ComponentSet b{Component::kAccelerometer};
+  EXPECT_EQ(hardware_similarity(a, b), SimilarityLevel::kLow);
+  EXPECT_EQ(hardware_similarity(a, ComponentSet::none()), SimilarityLevel::kLow);
+  EXPECT_EQ(hardware_similarity(ComponentSet::none(), a), SimilarityLevel::kLow);
+}
+
+TEST(HardwareGrade, ThreeLevelMatchesSimilarityLevels) {
+  const SimilarityConfig cfg;  // default three-level
+  const ComponentSet wifi{Component::kWifi};
+  const ComponentSet both{Component::kWifi, Component::kWps};
+  EXPECT_EQ(hardware_grade(wifi, wifi, cfg), 0);
+  EXPECT_EQ(hardware_grade(wifi, both, cfg), 1);
+  EXPECT_EQ(hardware_grade(wifi, ComponentSet{Component::kWps}, cfg), 2);
+  EXPECT_EQ(max_hardware_grade(cfg.hw_mode), 2);
+}
+
+TEST(HardwareGrade, TwoLevelOnlyChecksSharing) {
+  SimilarityConfig cfg;
+  cfg.hw_mode = HardwareSimilarityMode::kTwoLevel;
+  const ComponentSet wifi{Component::kWifi};
+  const ComponentSet both{Component::kWifi, Component::kWps};
+  EXPECT_EQ(hardware_grade(wifi, wifi, cfg), 0);
+  EXPECT_EQ(hardware_grade(wifi, both, cfg), 0);  // identical vs partial collapse
+  EXPECT_EQ(hardware_grade(wifi, ComponentSet{Component::kWps}, cfg), 1);
+  EXPECT_EQ(max_hardware_grade(cfg.hw_mode), 1);
+}
+
+TEST(HardwareGrade, FourLevelSplitsMediumByHungryComponents) {
+  SimilarityConfig cfg;
+  cfg.hw_mode = HardwareSimilarityMode::kFourLevel;
+  const ComponentSet wps_acc{Component::kWps, Component::kAccelerometer};
+  const ComponentSet wps{Component::kWps};
+  const ComponentSet acc{Component::kAccelerometer};
+  const ComponentSet acc_vib{Component::kAccelerometer, Component::kVibrator};
+  // Sharing the (hungry) WPS ranks above sharing only the accelerometer.
+  EXPECT_EQ(hardware_grade(wps_acc, wps, cfg), 1);
+  EXPECT_EQ(hardware_grade(acc_vib, acc, cfg), 2);
+  EXPECT_EQ(hardware_grade(wps, wps, cfg), 0);
+  EXPECT_EQ(hardware_grade(wps, acc, cfg), 3);
+  EXPECT_EQ(max_hardware_grade(cfg.hw_mode), 3);
+}
+
+// -------------------------------------------------------------------- time
+
+struct TimeParty {
+  TimeInterval window;
+  TimeInterval grace;
+};
+
+TimeParty party(std::int64_t nominal, std::int64_t window_len, std::int64_t grace_len) {
+  return {TimeInterval::from_length(at(nominal), Duration::seconds(window_len)),
+          TimeInterval::from_length(at(nominal), Duration::seconds(grace_len))};
+}
+
+TEST(TimeSimilarity, HighWhenWindowsOverlap) {
+  const TimeParty a = party(0, 150, 192);
+  const TimeParty b = party(100, 150, 192);
+  EXPECT_EQ(time_similarity(a.window, a.grace, b.window, b.grace),
+            SimilarityLevel::kHigh);
+}
+
+TEST(TimeSimilarity, MediumWhenOnlyGracesOverlap) {
+  const TimeParty a = party(0, 150, 192);
+  const TimeParty b = party(170, 150, 192);  // windows [0,150] vs [170,320]
+  EXPECT_EQ(time_similarity(a.window, a.grace, b.window, b.grace),
+            SimilarityLevel::kMedium);
+}
+
+TEST(TimeSimilarity, LowWhenNothingOverlaps) {
+  const TimeParty a = party(0, 150, 192);
+  const TimeParty b = party(500, 150, 192);
+  EXPECT_EQ(time_similarity(a.window, a.grace, b.window, b.grace),
+            SimilarityLevel::kLow);
+}
+
+TEST(TimeSimilarity, PointWindowsStillCount) {
+  // Alpha = 0 alarms have single-point windows; a point inside the other
+  // window is High.
+  const TimeParty a = party(100, 0, 57);
+  const TimeParty b = party(0, 150, 192);
+  EXPECT_EQ(time_similarity(a.window, a.grace, b.window, b.grace),
+            SimilarityLevel::kHigh);
+}
+
+TEST(TimeSimilarity, EmptyEntryWindowCannotBeHigh) {
+  // An imperceptible entry built by grace-overlap can have an empty window
+  // intersection; nothing can reach High against it.
+  const TimeParty a = party(0, 150, 192);
+  EXPECT_EQ(time_similarity(TimeInterval::empty(),
+                            TimeInterval{at(0), at(300)}, a.window, a.grace),
+            SimilarityLevel::kMedium);
+}
+
+// ----------------------------------------------------- applicability matrix
+
+struct ApplicabilityCase {
+  SimilarityLevel time;
+  bool alarm_perceptible;
+  bool entry_perceptible;
+  bool expected;
+};
+
+class ApplicabilityTest : public ::testing::TestWithParam<ApplicabilityCase> {};
+
+TEST_P(ApplicabilityTest, MatchesSearchPhaseRule) {
+  const ApplicabilityCase& c = GetParam();
+  EXPECT_EQ(is_applicable(c.time, c.alarm_perceptible, c.entry_perceptible),
+            c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ApplicabilityTest,
+    ::testing::Values(
+        // Any perceptible party -> High required.
+        ApplicabilityCase{SimilarityLevel::kHigh, true, true, true},
+        ApplicabilityCase{SimilarityLevel::kHigh, true, false, true},
+        ApplicabilityCase{SimilarityLevel::kHigh, false, true, true},
+        ApplicabilityCase{SimilarityLevel::kMedium, true, true, false},
+        ApplicabilityCase{SimilarityLevel::kMedium, true, false, false},
+        ApplicabilityCase{SimilarityLevel::kMedium, false, true, false},
+        // Both imperceptible -> High or Medium.
+        ApplicabilityCase{SimilarityLevel::kHigh, false, false, true},
+        ApplicabilityCase{SimilarityLevel::kMedium, false, false, true},
+        // Low is never applicable.
+        ApplicabilityCase{SimilarityLevel::kLow, false, false, false},
+        ApplicabilityCase{SimilarityLevel::kLow, true, false, false},
+        ApplicabilityCase{SimilarityLevel::kLow, false, true, false},
+        ApplicabilityCase{SimilarityLevel::kLow, true, true, false}));
+
+// ------------------------------------------------------------------ Table 1
+
+TEST(Preferability, ReproducesTable1) {
+  // Rows: time {High, Medium}; columns: hardware {High=0, Medium=1, Low=2}.
+  EXPECT_EQ(preferability_rank(0, SimilarityLevel::kHigh), 1);
+  EXPECT_EQ(preferability_rank(0, SimilarityLevel::kMedium), 2);
+  EXPECT_EQ(preferability_rank(1, SimilarityLevel::kHigh), 3);
+  EXPECT_EQ(preferability_rank(1, SimilarityLevel::kMedium), 4);
+  EXPECT_EQ(preferability_rank(2, SimilarityLevel::kHigh), 5);
+  EXPECT_EQ(preferability_rank(2, SimilarityLevel::kMedium), 6);
+}
+
+TEST(Preferability, HardwareDominatesTime) {
+  // Any better hardware grade beats any time level within it — the paper's
+  // "entry with a higher degree of hardware similarity is preferable".
+  EXPECT_LT(preferability_rank(0, SimilarityLevel::kMedium),
+            preferability_rank(1, SimilarityLevel::kHigh));
+  EXPECT_LT(preferability_rank(1, SimilarityLevel::kMedium),
+            preferability_rank(2, SimilarityLevel::kHigh));
+}
+
+TEST(Preferability, LowTimeIsInfinity) {
+  EXPECT_THROW(preferability_rank(0, SimilarityLevel::kLow), std::logic_error);
+}
+
+TEST(SimilarityEnums, Names) {
+  EXPECT_STREQ(to_string(SimilarityLevel::kHigh), "high");
+  EXPECT_STREQ(to_string(SimilarityLevel::kMedium), "medium");
+  EXPECT_STREQ(to_string(SimilarityLevel::kLow), "low");
+  EXPECT_STREQ(to_string(HardwareSimilarityMode::kThreeLevel), "3-level");
+}
+
+}  // namespace
+}  // namespace simty::alarm

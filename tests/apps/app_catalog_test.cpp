@@ -1,0 +1,92 @@
+#include "apps/app_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::apps {
+namespace {
+
+using alarm::RepeatMode;
+using hw::Component;
+using hw::ComponentSet;
+
+TEST(AppCatalog, HasAll18Table3Rows) {
+  const auto catalog = table3_catalog();
+  ASSERT_EQ(catalog.size(), 18u);
+}
+
+TEST(AppCatalog, LightWorkloadIsThe12LightApps) {
+  const auto light = light_workload_profiles();
+  ASSERT_EQ(light.size(), 12u);
+  // 11 Wi-Fi-only messengers + the perceptible Alarm Clock.
+  int wifi = 0, notify = 0;
+  for (const AppProfile& p : light) {
+    if (p.hardware == ComponentSet{Component::kWifi}) ++wifi;
+    if (p.hardware == (ComponentSet{Component::kSpeaker, Component::kVibrator})) {
+      ++notify;
+    }
+    EXPECT_TRUE(p.in_light);
+    EXPECT_FALSE(p.irregular);  // no starred app is in the light workload
+  }
+  EXPECT_EQ(wifi, 11);
+  EXPECT_EQ(notify, 1);
+}
+
+TEST(AppCatalog, Table3AttributesMatchThePaper) {
+  // Spot-check rows against the published table.
+  const AppProfile fb = profile_by_name("Facebook");
+  EXPECT_EQ(fb.repeat, Duration::seconds(60));
+  EXPECT_DOUBLE_EQ(fb.alpha, 0.0);
+  EXPECT_EQ(fb.mode, RepeatMode::kDynamic);
+  EXPECT_EQ(fb.hardware, ComponentSet{Component::kWifi});
+
+  const AppProfile line = profile_by_name("Line");
+  EXPECT_EQ(line.repeat, Duration::seconds(200));
+  EXPECT_DOUBLE_EQ(line.alpha, 0.75);
+  EXPECT_EQ(line.mode, RepeatMode::kDynamic);
+
+  const AppProfile band = profile_by_name("BAND");
+  EXPECT_EQ(band.repeat, Duration::seconds(202));
+
+  const AppProfile clock = profile_by_name("Alarm Clock");
+  EXPECT_EQ(clock.repeat, Duration::seconds(1800));
+  EXPECT_EQ(clock.mode, RepeatMode::kStatic);
+  EXPECT_EQ(clock.hardware, (ComponentSet{Component::kSpeaker, Component::kVibrator}));
+  EXPECT_EQ(clock.base_hold, Duration::seconds(1));  // 1 s notification (§4.1)
+
+  const AppProfile noom = profile_by_name("Noom Walk");
+  EXPECT_EQ(noom.repeat, Duration::seconds(60));
+  EXPECT_TRUE(noom.irregular);
+  EXPECT_EQ(noom.hardware, ComponentSet{Component::kAccelerometer});
+
+  const AppProfile followmee = profile_by_name("FollowMee");
+  EXPECT_EQ(followmee.repeat, Duration::seconds(180));
+  EXPECT_TRUE(followmee.irregular);
+  EXPECT_EQ(followmee.hardware, ComponentSet{Component::kWps});
+}
+
+TEST(AppCatalog, ExactlyFiveIrregularApps) {
+  int irregular = 0;
+  for (const AppProfile& p : table3_catalog()) {
+    if (p.irregular) ++irregular;
+  }
+  EXPECT_EQ(irregular, 5);
+}
+
+TEST(AppCatalog, AllProfilesValid) {
+  for (const AppProfile& p : table3_catalog()) {
+    EXPECT_GT(p.repeat, Duration::zero()) << p.name;
+    EXPECT_GE(p.alpha, 0.0) << p.name;
+    EXPECT_LT(p.alpha, 1.0) << p.name;
+    EXPECT_GT(p.base_hold, Duration::zero()) << p.name;
+    EXPECT_FALSE(p.hardware.empty()) << p.name;
+    // Holds must fit comfortably inside the repeat interval.
+    EXPECT_LT(p.base_hold * 2, p.repeat) << p.name;
+  }
+}
+
+TEST(AppCatalog, UnknownAppThrows) {
+  EXPECT_THROW(profile_by_name("Angry Birds"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simty::apps

@@ -1,0 +1,82 @@
+#include "apps/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "apps/app_catalog.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::apps {
+namespace {
+
+class ResidentAppTest : public test::FrameworkFixture {};
+
+TEST_F(ResidentAppTest, LaunchRegistersMajorAlarmOneIntervalOut) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ResidentApp app(profile_by_name("Line"), Rng(1));
+  app.launch(*manager_, at(0), alarm::AppId{1});
+  ASSERT_TRUE(app.alarm_id().has_value());
+  const alarm::Alarm* a = manager_->find(*app.alarm_id());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->nominal(), at(200));  // Line's ReIn
+  EXPECT_EQ(a->spec().window_length, Duration::seconds(150));  // alpha 0.75
+  EXPECT_EQ(a->spec().grace_length, Duration::seconds(192));   // beta 0.96
+  EXPECT_EQ(a->spec().mode, alarm::RepeatMode::kDynamic);
+}
+
+TEST_F(ResidentAppTest, DoubleLaunchRejected) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ResidentApp app(profile_by_name("Viber"), Rng(1));
+  app.launch(*manager_, at(0), alarm::AppId{1});
+  EXPECT_THROW(app.launch(*manager_, at(0), alarm::AppId{1}), std::logic_error);
+}
+
+TEST_F(ResidentAppTest, GraceClampedUpToAlpha) {
+  init(std::make_unique<alarm::NativePolicy>());
+  // An app with alpha 0.75 launched with platform beta 0.5: grace must not
+  // undercut the window (§3.1.2) so it clamps to 0.75.
+  ResidentApp app(profile_by_name("WeChat"), Rng(1));
+  app.launch(*manager_, at(0), alarm::AppId{1}, 0.5);
+  const alarm::Alarm* a = manager_->find(*app.alarm_id());
+  EXPECT_EQ(a->spec().grace_length, a->spec().window_length);
+}
+
+TEST_F(ResidentAppTest, TasksUseProfileHardwareWithJitteredHolds) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ResidentApp app(profile_by_name("Facebook"), Rng(7));
+  app.launch(*manager_, at(0), alarm::AppId{1});
+  sim_.run_until(at(600));  // ~10 deliveries at ReIn 60
+  EXPECT_GE(app.deliveries(), 8u);
+  const AppProfile& p = app.profile();
+  for (const auto& rec : deliveries_) {
+    EXPECT_EQ(rec.hardware_used, p.hardware);
+    // Jitter band: base * (1 +- 0.3).
+    EXPECT_GE(rec.hold, p.base_hold * (1.0 - p.hold_jitter - 1e-9));
+    EXPECT_LE(rec.hold, p.base_hold * (1.0 + p.hold_jitter + 1e-9));
+  }
+  // Jitter actually varies the holds.
+  Duration first = deliveries_.front().hold;
+  bool varied = false;
+  for (const auto& rec : deliveries_) varied = varied || rec.hold != first;
+  EXPECT_TRUE(varied);
+}
+
+TEST_F(ResidentAppTest, AlarmClockIsPerceptibleAfterProfiling) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ResidentApp clock(profile_by_name("Alarm Clock"), Rng(1));
+  clock.launch(*manager_, at(0), alarm::AppId{1});
+  sim_.run_until(at(2000));  // one delivery at 1800
+  const alarm::Alarm* a = manager_->find(*clock.alarm_id());
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->hardware_known());
+  EXPECT_TRUE(a->perceptible());
+}
+
+TEST(ResidentApp, RejectsNonRepeatingProfiles) {
+  AppProfile p = profile_by_name("Line");
+  p.repeat = Duration::zero();
+  EXPECT_THROW(ResidentApp(p, Rng(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simty::apps

@@ -1,0 +1,68 @@
+#include "apps/external_events.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::apps {
+namespace {
+
+class ExternalEventsTest : public test::FrameworkFixture {};
+
+TEST_F(ExternalEventsTest, PushesWakeTheDevice) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ExternalEventConfig c;
+  c.push_mean = Duration::seconds(300);
+  ExternalEventSource src(sim_, *device_, c, Rng(2));
+  src.start(at(3600));
+  sim_.run_until(at(3600));
+  EXPECT_GT(src.pushes(), 3u);
+  EXPECT_EQ(device_->wakeups_for(hw::WakeReason::kExternalPush), src.pushes());
+}
+
+TEST_F(ExternalEventsTest, ExternalWakeDeliversPendingNonWakeupAlarms) {
+  init(std::make_unique<alarm::NativePolicy>());
+  alarm::AlarmSpec spec = alarm::AlarmSpec::repeating(
+      "lazy", alarm::AppId{1}, alarm::RepeatMode::kStatic, Duration::seconds(600),
+      0.1, 0.9);
+  spec.kind = alarm::AlarmKind::kNonWakeup;
+  const alarm::AlarmId lazy =
+      manager_->register_alarm(spec, at(100), noop_task());
+
+  ExternalEventConfig c;
+  c.push_mean = Duration::seconds(400);
+  ExternalEventSource src(sim_, *device_, c, Rng(9));
+  src.start(at(3600));
+  sim_.run_until(at(3600));
+  // The non-wakeup alarm got delivered (possibly several times) thanks to
+  // push wakes, without any wakeup alarm existing.
+  EXPECT_FALSE(deliveries_of(lazy).empty());
+  for (const auto& rec : deliveries_of(lazy)) {
+    EXPECT_GE(rec.delivered, rec.nominal);  // never early
+  }
+}
+
+TEST_F(ExternalEventsTest, ButtonAndPushCountSeparately) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ExternalEventConfig c;
+  c.push_mean = Duration::seconds(200);
+  c.button_mean = Duration::seconds(500);
+  ExternalEventSource src(sim_, *device_, c, Rng(4));
+  src.start(at(7200));
+  sim_.run_until(at(7200));
+  EXPECT_GT(src.pushes(), 0u);
+  EXPECT_GT(src.button_presses(), 0u);
+  EXPECT_EQ(device_->wakeups_for(hw::WakeReason::kUserButton), src.button_presses());
+}
+
+TEST_F(ExternalEventsTest, DisabledSourceDoesNothing) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ExternalEventSource src(sim_, *device_, ExternalEventConfig{}, Rng(1));
+  src.start(at(3600));
+  sim_.run_until(at(3600));
+  EXPECT_EQ(device_->wakeup_count(), 0u);
+}
+
+}  // namespace
+}  // namespace simty::apps

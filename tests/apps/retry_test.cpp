@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "apps/app_catalog.hpp"
+#include "apps/workload.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::apps {
+namespace {
+
+class RetryTest : public test::FrameworkFixture {};
+
+TEST_F(RetryTest, CertainRetrySpawnsOneShotPerDelivery) {
+  init(std::make_unique<alarm::NativePolicy>());
+  AppProfile p = profile_by_name("Line");
+  p.retry_probability = 1.0;
+  p.retry_backoff = Duration::seconds(20);
+  ResidentApp app(p, Rng(3));
+  app.launch(*manager_, at(0), alarm::AppId{1});
+  sim_.run_until(at(1000));  // several ReIn-200 deliveries + retries
+  EXPECT_GE(app.deliveries(), 4u);
+  EXPECT_GE(app.retries(), 3u);
+
+  // Retries appear as perceptible one-shot deliveries ~backoff after the
+  // major delivery, with the app's hardware.
+  std::uint64_t oneshot_count = 0;
+  for (const auto& r : deliveries_) {
+    if (r.mode != alarm::RepeatMode::kOneShot) continue;
+    ++oneshot_count;
+    EXPECT_TRUE(r.was_perceptible);
+    EXPECT_EQ(r.hardware_used, p.hardware);
+    EXPECT_NE(r.tag.find("Line.retry."), std::string::npos);
+  }
+  EXPECT_EQ(oneshot_count, app.retries());
+}
+
+TEST_F(RetryTest, ZeroProbabilityNeverRetries) {
+  init(std::make_unique<alarm::NativePolicy>());
+  ResidentApp app(profile_by_name("Line"), Rng(3));
+  app.launch(*manager_, at(0), alarm::AppId{1});
+  sim_.run_until(at(2000));
+  EXPECT_EQ(app.retries(), 0u);
+  for (const auto& r : deliveries_) {
+    EXPECT_NE(r.mode, alarm::RepeatMode::kOneShot);
+  }
+}
+
+TEST_F(RetryTest, FractionalProbabilityRetriesSometimes) {
+  init(std::make_unique<alarm::NativePolicy>());
+  AppProfile p = profile_by_name("Facebook");  // ReIn 60: many trials
+  p.retry_probability = 0.5;
+  ResidentApp app(p, Rng(9));
+  app.launch(*manager_, at(0), alarm::AppId{1});
+  sim_.run_until(at(3600));
+  EXPECT_GT(app.retries(), 10u);
+  EXPECT_LT(app.retries(), app.deliveries());
+}
+
+TEST_F(RetryTest, WorkloadKnobOverridesProfiles) {
+  init(std::make_unique<alarm::NativePolicy>());
+  WorkloadConfig c;
+  c.retry_probability = 1.0;
+  Workload w = Workload::light(c);
+  w.deploy(sim_, *manager_);
+  sim_.run_until(at(600));
+  std::uint64_t retries = 0;
+  for (const auto& app : w.apps()) retries += app->retries();
+  EXPECT_GT(retries, 0u);
+  // Default config leaves retries off.
+  EXPECT_LT(Workload::light(WorkloadConfig{}).apps()[0]->profile().retry_probability,
+            1e-9);
+}
+
+TEST(RetryValidation, BadProbabilityRejected) {
+  AppProfile p = profile_by_name("Line");
+  p.retry_probability = 1.5;
+  EXPECT_THROW(ResidentApp(p, Rng(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simty::apps

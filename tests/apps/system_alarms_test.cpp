@@ -1,0 +1,87 @@
+#include "apps/system_alarms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::apps {
+namespace {
+
+class SystemAlarmsTest : public test::FrameworkFixture {};
+
+TEST_F(SystemAlarmsTest, PeriodicServicesRegisterAndFire) {
+  init(std::make_unique<alarm::NativePolicy>());
+  SystemAlarmConfig c;
+  c.one_shot_mean = Duration::zero();  // periodic only
+  SystemAlarmSource src(sim_, *manager_, c, Rng(1));
+  src.start(at(3600));
+  EXPECT_GT(manager_->stats().registrations, 0u);
+  sim_.run_until(at(3600));
+  // The 300 s heartbeat alone fires ~11 times in an hour.
+  EXPECT_GT(manager_->stats().deliveries, 10u);
+  for (const auto& rec : deliveries_) {
+    EXPECT_EQ(rec.app, SystemAlarmSource::kSystemApp);
+    EXPECT_TRUE(rec.hardware_used.empty());  // CPU-only bookkeeping
+  }
+}
+
+TEST_F(SystemAlarmsTest, OneShotsSpawnAndCountDeliveries) {
+  init(std::make_unique<alarm::NativePolicy>());
+  SystemAlarmConfig c;
+  c.periodic_services = false;
+  c.one_shot_mean = Duration::seconds(120);
+  SystemAlarmSource src(sim_, *manager_, c, Rng(3));
+  src.start(at(3600));
+  sim_.run_until(at(3600));
+  EXPECT_GT(src.one_shots_fired(), 10u);  // ~30 expected at mean 120 s
+  EXPECT_LT(src.one_shots_fired(), 70u);
+  // One-shots are one-shot: nothing left registered at the end except
+  // possibly the last spawned-but-undelivered one.
+  EXPECT_LE(manager_->queue(alarm::AlarmKind::kWakeup).size(), 1u);
+}
+
+TEST_F(SystemAlarmsTest, OneShotSpawningStopsAtHorizon) {
+  init(std::make_unique<alarm::NativePolicy>());
+  SystemAlarmConfig c;
+  c.periodic_services = false;
+  c.one_shot_mean = Duration::seconds(60);
+  SystemAlarmSource src(sim_, *manager_, c, Rng(5));
+  src.start(at(600));
+  sim_.run_until(at(600));
+  const std::uint64_t at_horizon = src.one_shots_fired();
+  sim_.run_until(at(7200));
+  EXPECT_EQ(src.one_shots_fired(), at_horizon);
+}
+
+TEST_F(SystemAlarmsTest, ServicesRespectPlatformBeta) {
+  init(std::make_unique<alarm::NativePolicy>());
+  SystemAlarmConfig c;
+  c.one_shot_mean = Duration::zero();
+  c.beta = 0.80;
+  SystemAlarmSource src(sim_, *manager_, c, Rng(1));
+  src.start(at(3600));
+  const auto& q = manager_->queue(alarm::AlarmKind::kWakeup);
+  ASSERT_FALSE(q.empty());
+  for (const auto& batch : q) {
+    for (const alarm::Alarm* a : batch->members()) {
+      const double grace = a->spec().grace_length.ratio(a->spec().repeat_interval);
+      EXPECT_NEAR(grace, 0.80, 1e-9);
+    }
+  }
+}
+
+TEST_F(SystemAlarmsTest, DisabledSourcesRegisterNothing) {
+  init(std::make_unique<alarm::NativePolicy>());
+  SystemAlarmConfig c;
+  c.periodic_services = false;
+  c.one_shot_mean = Duration::zero();
+  SystemAlarmSource src(sim_, *manager_, c, Rng(1));
+  src.start(at(3600));
+  sim_.run_until(at(3600));
+  EXPECT_EQ(manager_->stats().registrations, 0u);
+  EXPECT_EQ(src.one_shots_fired(), 0u);
+}
+
+}  // namespace
+}  // namespace simty::apps

@@ -1,0 +1,101 @@
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::cli {
+namespace {
+
+ParseResult parse(std::initializer_list<std::string> args) {
+  return parse_args(std::vector<std::string>(args));
+}
+
+TEST(CliOptions, DefaultsWithNoFlags) {
+  const ParseResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  const RunPlan& p = *r.plan;
+  EXPECT_EQ(p.policies,
+            (std::vector<exp::PolicyKind>{exp::PolicyKind::kNative,
+                                          exp::PolicyKind::kSimty}));
+  EXPECT_EQ(p.config.workload, exp::WorkloadKind::kLight);
+  EXPECT_EQ(p.config.duration, Duration::hours(3));
+  EXPECT_DOUBLE_EQ(p.config.beta, 0.96);
+  EXPECT_EQ(p.repetitions, 3);
+  EXPECT_TRUE(p.config.system_alarms);
+  EXPECT_FALSE(p.show_help);
+}
+
+TEST(CliOptions, ParsesPolicyLists) {
+  const ParseResult r = parse({"--policy", "exact,simty-dur"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->policies,
+            (std::vector<exp::PolicyKind>{exp::PolicyKind::kExact,
+                                          exp::PolicyKind::kSimtyDuration}));
+}
+
+TEST(CliOptions, PolicyAllExpands) {
+  const ParseResult r = parse({"--policy", "all"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->policies.size(), 4u);
+}
+
+TEST(CliOptions, ParsesWorkloadAndApps) {
+  const ParseResult r =
+      parse({"--workload", "synthetic", "--apps", "42"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->config.workload, exp::WorkloadKind::kSynthetic);
+  EXPECT_EQ(r.plan->config.synthetic_apps, 42u);
+}
+
+TEST(CliOptions, ParsesDurations) {
+  EXPECT_EQ(parse({"--hours", "1.5"}).plan->config.duration, Duration::minutes(90));
+  EXPECT_EQ(parse({"--minutes", "30"}).plan->config.duration, Duration::minutes(30));
+}
+
+TEST(CliOptions, ParsesNumericFlags) {
+  const ParseResult r =
+      parse({"--beta", "0.85", "--seed", "9", "--reps", "5", "--hw-levels", "4"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.plan->config.beta, 0.85);
+  EXPECT_EQ(r.plan->config.seed, 9u);
+  EXPECT_EQ(r.plan->repetitions, 5);
+  EXPECT_EQ(r.plan->config.similarity.hw_mode,
+            alarm::HardwareSimilarityMode::kFourLevel);
+}
+
+TEST(CliOptions, ParsesPathsAndToggles) {
+  const ParseResult r = parse({"--csv", "out.csv", "--trace", "log.csv",
+                               "--waveform", "wave.csv", "--no-system-alarms"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->csv_path, "out.csv");
+  EXPECT_EQ(r.plan->trace_path, "log.csv");
+  EXPECT_EQ(r.plan->waveform_path, "wave.csv");
+  EXPECT_FALSE(r.plan->config.system_alarms);
+  EXPECT_FALSE(parse({"--waveform"}).ok());
+  EXPECT_FALSE(parse({}).plan->config.doze);
+  EXPECT_TRUE(parse({"--doze"}).plan->config.doze);
+}
+
+TEST(CliOptions, HelpShortCircuits) {
+  const ParseResult r = parse({"--help", "--bogus-after-help"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.plan->show_help);
+  EXPECT_NE(usage().find("--policy"), std::string::npos);
+}
+
+TEST(CliOptions, RejectsBadInput) {
+  EXPECT_FALSE(parse({"--policy", "doze"}).ok());
+  EXPECT_FALSE(parse({"--policy"}).ok());
+  EXPECT_FALSE(parse({"--workload", "extreme"}).ok());
+  EXPECT_FALSE(parse({"--beta", "1.5"}).ok());
+  EXPECT_FALSE(parse({"--beta", "abc"}).ok());
+  EXPECT_FALSE(parse({"--hours", "-1"}).ok());
+  EXPECT_FALSE(parse({"--apps", "0"}).ok());
+  EXPECT_FALSE(parse({"--reps", "0"}).ok());
+  EXPECT_FALSE(parse({"--hw-levels", "5"}).ok());
+  EXPECT_FALSE(parse({"--frobnicate"}).ok());
+  // Errors carry a pointer to --help.
+  EXPECT_NE(parse({"--frobnicate"}).error.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simty::cli

@@ -1,0 +1,53 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simty {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, RoutesToSink) {
+  SIMTY_INFO("hello");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello");
+}
+
+TEST_F(LoggingTest, LevelFiltersBelow) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  SIMTY_DEBUG("drop");
+  SIMTY_INFO("drop");
+  SIMTY_WARN("keep");
+  SIMTY_ERROR("keep");
+  EXPECT_EQ(captured_.size(), 2u);
+}
+
+TEST_F(LoggingTest, OffDropsEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  SIMTY_ERROR("drop");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace simty

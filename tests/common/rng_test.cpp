@@ -1,0 +1,107 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simty {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowInRangeAndRejectsZero) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.uniform(-3.0, 7.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng r(123);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(321);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(555);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r(777);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(42), parent2(42);
+  Rng childa = parent1.fork(1);
+  Rng childb = parent2.fork(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(childa.next_u32(), childb.next_u32());
+
+  Rng parent3(42);
+  Rng child1 = parent3.fork(1);
+  Rng child2 = parent3.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u32() == child2.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace simty

@@ -1,0 +1,97 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simty {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVarianceMatchClosedForm) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with Bessel correction: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  Rng rng(1);
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0.0, 1.0));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_NEAR(large.mean(), 0.0, 0.15);
+}
+
+TEST(OnlineStats, NumericallyStableOnOffsetData) {
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  OnlineStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) {
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-3);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(7);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs: becomes rhs
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(OnlineStats, ToStringRendersMeanAndCi) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const std::string out = s.to_string(1);
+  EXPECT_NE(out.find("2.0"), std::string::npos);
+  EXPECT_NE(out.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simty

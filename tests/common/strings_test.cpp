@@ -1,0 +1,51 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty {
+namespace {
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%d/%d", 733, 983), "733/983");
+  EXPECT_EQ(str_format("%.1f mJ", 3650.0), "3650.0 mJ");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(Strings, StrFormatLongOutput) {
+  const std::string big(500, 'x');
+  EXPECT_EQ(str_format("%s!", big.c_str()), big + "!");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("trailing,", ','), (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  const std::string s = "wifi|wps|accelerometer";
+  EXPECT_EQ(join(split(s, '|'), "|"), s);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(0.179), "17.9%");
+  EXPECT_EQ(percent(0.3333, 0), "33%");
+  EXPECT_EQ(percent(0.004, 2), "0.40%");
+}
+
+}  // namespace
+}  // namespace simty

@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty {
+namespace {
+
+TEST(Energy, ConstructorsAndViews) {
+  EXPECT_DOUBLE_EQ(Energy::millijoules(400).mj(), 400.0);
+  EXPECT_DOUBLE_EQ(Energy::joules(3.65).mj(), 3650.0);
+  EXPECT_DOUBLE_EQ(Energy::millijoules(500).joules_f(), 0.5);
+}
+
+TEST(Energy, Arithmetic) {
+  const Energy a = Energy::millijoules(400);
+  const Energy b = Energy::millijoules(3650);
+  EXPECT_DOUBLE_EQ((a + b).mj(), 4050.0);
+  EXPECT_DOUBLE_EQ((b - a).mj(), 3250.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).mj(), 800.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).mj(), 100.0);
+}
+
+TEST(Energy, RatioAndComparison) {
+  EXPECT_DOUBLE_EQ(Energy::millijoules(25).ratio(Energy::millijoules(100)), 0.25);
+  EXPECT_THROW(Energy::millijoules(1).ratio(Energy::zero()), std::invalid_argument);
+  EXPECT_LT(Energy::millijoules(179), Energy::millijoules(180));
+}
+
+TEST(Power, TimesDurationIsEnergy) {
+  // 200 mW for 0.7 s = 140 mJ (the bare-wakeup awake cost).
+  const Energy e = Power::milliwatts(200) * Duration::millis(700);
+  EXPECT_NEAR(e.mj(), 140.0, 1e-9);
+  // Commutes.
+  EXPECT_DOUBLE_EQ((Duration::millis(700) * Power::milliwatts(200)).mj(), e.mj());
+}
+
+TEST(Power, Arithmetic) {
+  const Power p = Power::milliwatts(150) + Power::watts(0.05);
+  EXPECT_DOUBLE_EQ(p.mw(), 200.0);
+  EXPECT_DOUBLE_EQ((p - Power::milliwatts(50)).mw(), 150.0);
+  EXPECT_DOUBLE_EQ((p * 2.0).mw(), 400.0);
+}
+
+TEST(Charge, BatteryEnergyAtVoltage) {
+  // 2300 mAh at 3.8 V = 2300 * 3.8 * 3.6 J = 31,464 J.
+  const Energy e = Charge::milliamp_hours(2300).at_voltage(3.8);
+  EXPECT_NEAR(e.joules_f(), 31464.0, 1e-6);
+}
+
+TEST(UnitStrings, HumanReadable) {
+  EXPECT_EQ(Energy::millijoules(180).to_string(), "180.0 mJ");
+  EXPECT_EQ(Energy::joules(12.345).to_string(), "12.35 J");
+  EXPECT_EQ(Power::milliwatts(25).to_string(), "25.0 mW");
+}
+
+}  // namespace
+}  // namespace simty

@@ -1,0 +1,117 @@
+// Golden-output tests: the report renderers feed EXPERIMENTS.md and the
+// bench stdout that humans diff against the paper — pin their exact layout
+// so accidental format drift is caught.
+
+#include <gtest/gtest.h>
+
+#include "exp/reporting.hpp"
+
+namespace simty::exp {
+namespace {
+
+std::vector<NamedResult> fixture_columns() {
+  RunResult native;
+  native.policy_name = "NATIVE";
+  native.energy.sleep = Energy::joules(243.2);
+  native.energy.awake_base = Energy::joules(449.2);
+  native.average_power_mw = 64.1;
+  native.projected_standby_hours = 136.3;
+  native.delay_perceptible = 0.0;
+  native.delay_imperceptible = 0.002;
+  native.delay_imperceptible_p95 = 0.004;
+  native.wakeups = {{"CPU", 392, 695},
+                    {"Speaker&Vibrator", 5, 5},
+                    {"Wi-Fi", 385, 482},
+                    {"WPS", 0, 0},
+                    {"Accelerometer", 0, 0}};
+  native.worst_gap_ratio = 1.747;
+
+  RunResult simty = native;
+  simty.policy_name = "SIMTY";
+  simty.energy.sleep = Energy::joules(252.9);
+  simty.energy.awake_base = Energy::joules(286.4);
+  simty.average_power_mw = 49.9;
+  simty.projected_standby_hours = 175.0;
+  simty.delay_imperceptible = 0.148;
+  simty.delay_imperceptible_p95 = 0.696;
+  simty.wakeups = {{"CPU", 213, 639},
+                   {"Speaker&Vibrator", 5, 5},
+                   {"Wi-Fi", 178, 426},
+                   {"WPS", 0, 0},
+                   {"Accelerometer", 0, 0}};
+  simty.worst_gap_ratio = 1.938;
+  return {{"NATIVE", native}, {"SIMTY", simty}};
+}
+
+TEST(RenderGolden, EnergyFigure) {
+  const std::string out = render_energy_figure(fixture_columns());
+  const std::string expected =
+      "Figure 3: energy consumption in connected standby (J)\n"
+      "+-----------------------+--------+-------+\n"
+      "| Energy (J)            | NATIVE | SIMTY |\n"
+      "+-----------------------+--------+-------+\n"
+      "| awake (alignable)     | 449.2  | 286.4 |\n"
+      "| sleep (floor)         | 243.2  | 252.9 |\n"
+      "| total                 | 692.4  | 539.3 |\n"
+      "+-----------------------+--------+-------+\n"
+      "| awake saving vs col 1 | 0.0%   | 36.2% |\n"
+      "| total saving vs col 1 | 0.0%   | 22.1% |\n"
+      "+-----------------------+--------+-------+\n";
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RenderGolden, DelayFigure) {
+  const std::string out = render_delay_figure(fixture_columns());
+  const std::string expected =
+      "Figure 4: average normalized delivery delay\n"
+      "+-------------------+--------+-------+\n"
+      "| Alarm class       | NATIVE | SIMTY |\n"
+      "+-------------------+--------+-------+\n"
+      "| perceptible       | 0.0%   | 0.0%  |\n"
+      "| imperceptible     | 0.2%   | 14.8% |\n"
+      "| imperceptible p95 | 0.4%   | 69.6% |\n"
+      "+-------------------+--------+-------+\n";
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RenderGolden, WakeupTable) {
+  const std::string out = render_wakeup_table(fixture_columns());
+  const std::string expected =
+      "Table 4: the wakeup breakdown (actual/expected)\n"
+      "+------------------+---------+---------+\n"
+      "| Hardware         | NATIVE  | SIMTY   |\n"
+      "+------------------+---------+---------+\n"
+      "| CPU              | 392/695 | 213/639 |\n"
+      "| Speaker&Vibrator | 5/5     | 5/5     |\n"
+      "| Wi-Fi            | 385/482 | 178/426 |\n"
+      "| WPS              | 0/0     | 0/0     |\n"
+      "| Accelerometer    | 0/0     | 0/0     |\n"
+      "+------------------+---------+---------+\n";
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RenderGolden, StandbyProjection) {
+  const std::string out = render_standby_projection(fixture_columns());
+  EXPECT_NE(out.find("| NATIVE | 64.10          | 136.3       | 0.0%"),
+            std::string::npos);
+  EXPECT_NE(out.find("| SIMTY  | 49.90          | 175.0       | 28.4%"),
+            std::string::npos);
+}
+
+TEST(RenderGolden, GuaranteeAudit) {
+  const std::string out = render_guarantee_audit(fixture_columns());
+  EXPECT_NE(out.find("| NATIVE | 1.747            | 0              | 0"),
+            std::string::npos);
+  EXPECT_NE(out.find("| SIMTY  | 1.938            | 0              | 0"),
+            std::string::npos);
+}
+
+TEST(RenderGolden, CsvRow) {
+  const std::string out = results_csv(fixture_columns());
+  EXPECT_NE(out.find("NATIVE,NATIVE,449.20,243.20,692.40,64.100,136.30,"
+                     "0.00000,0.00200,392.0,695.0,0.0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace simty::exp

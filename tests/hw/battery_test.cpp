@@ -1,0 +1,61 @@
+#include "hw/battery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::hw {
+namespace {
+
+TEST(Battery, Nexus5Capacity) {
+  const Battery b = Battery::nexus5();
+  EXPECT_NEAR(b.capacity().joules_f(), 31464.0, 1e-6);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+}
+
+TEST(Battery, ConsumeReducesCharge) {
+  Battery b = Battery::nexus5();
+  b.consume(Energy::joules(3146.4));  // 10%
+  EXPECT_NEAR(b.state_of_charge(), 0.9, 1e-9);
+  EXPECT_NEAR(b.remaining().joules_f(), 31464.0 * 0.9, 1e-6);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, ClampsAtEmpty) {
+  Battery b(Charge::milliamp_hours(10), 3.8);
+  b.consume(Energy::joules(1e6));
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.0);
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(Battery, NegativeConsumptionRejected) {
+  Battery b = Battery::nexus5();
+  EXPECT_THROW(b.consume(Energy::millijoules(-1)), std::logic_error);
+}
+
+TEST(Battery, ProjectedStandbyScalesInverselyWithPower) {
+  const Battery b = Battery::nexus5();
+  const Duration at50 = b.projected_standby(Power::milliwatts(50));
+  const Duration at25 = b.projected_standby(Power::milliwatts(25));
+  EXPECT_EQ(at25, at50 * 2);
+  // 31464 J at 50 mW ≈ 174.8 hours.
+  EXPECT_NEAR(at50.seconds_f() / 3600.0, 174.8, 0.1);
+}
+
+TEST(Battery, StandbyExtensionMatchesEnergySavings) {
+  // The paper's headline: ~25% less average power -> standby extended by
+  // one-third (1/(1-0.25) = 1.333x).
+  const Battery b = Battery::nexus5();
+  const Power native = Power::milliwatts(60);
+  const Power simty = native * 0.75;
+  const double extension =
+      b.projected_standby(simty).ratio(b.projected_standby(native));
+  EXPECT_NEAR(extension, 4.0 / 3.0, 1e-9);
+}
+
+TEST(Battery, NonPositivePowerRejected) {
+  const Battery b = Battery::nexus5();
+  EXPECT_THROW(b.projected_standby(Power::zero()), std::invalid_argument);
+  EXPECT_THROW(b.projected_standby(Power::milliwatts(-5)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simty::hw

@@ -1,0 +1,131 @@
+#include "hw/guardian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/power_bus.hpp"
+#include "hw/power_model.hpp"
+
+namespace simty::hw {
+namespace {
+
+class GuardianTest : public ::testing::Test {
+ protected:
+  GuardianTest() : model_(PowerModel::nexus5()), mgr_(sim_, model_, bus_) {}
+  TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+  sim::Simulator sim_;
+  PowerModel model_;
+  PowerBus bus_;
+  WakelockManager mgr_;
+};
+
+TEST_F(GuardianTest, RevokesOverBudgetLocks) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::seconds(60);
+  c.scan_period = Duration::seconds(30);
+  WakelockGuardian guardian(sim_, mgr_, c);
+  guardian.start(at(3600));
+
+  mgr_.acquire(Component::kWifi, "buggy-app");  // never released
+  sim_.run_until(at(3600));
+
+  EXPECT_FALSE(mgr_.is_on(Component::kWifi));
+  ASSERT_EQ(guardian.interventions().size(), 1u);
+  const auto& iv = guardian.interventions()[0];
+  EXPECT_EQ(iv.component, Component::kWifi);
+  EXPECT_EQ(iv.holder, "buggy-app");
+  EXPECT_GT(iv.held_for, Duration::seconds(60));
+  // Detection latency is bounded by budget + one scan period.
+  EXPECT_LE(iv.at, at(91));
+}
+
+TEST_F(GuardianTest, LeavesHealthyLocksAlone) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::seconds(60);
+  c.scan_period = Duration::seconds(10);
+  WakelockGuardian guardian(sim_, mgr_, c);
+  guardian.start(at(600));
+
+  // A well-behaved 5 s hold.
+  const WakelockId id = mgr_.acquire(Component::kWps, "good-app");
+  sim_.schedule_at(at(5), [&] { mgr_.release(id); });
+  sim_.run_until(at(600));
+  EXPECT_TRUE(guardian.interventions().empty());
+}
+
+TEST_F(GuardianTest, HolderTryReleaseAfterRevocationIsSafe) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::seconds(30);
+  c.scan_period = Duration::seconds(10);
+  WakelockGuardian guardian(sim_, mgr_, c);
+  guardian.start(at(600));
+
+  const WakelockId id = mgr_.acquire(Component::kWifi, "slow-app");
+  // The app finally "releases" at 120 s, long after the revocation.
+  bool released_by_app = false;
+  sim_.schedule_at(at(120), [&] { released_by_app = mgr_.try_release(id); });
+  sim_.run_until(at(600));
+  EXPECT_FALSE(released_by_app);  // guardian got there first
+  EXPECT_EQ(guardian.interventions().size(), 1u);
+}
+
+TEST_F(GuardianTest, ManualScan) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::seconds(10);
+  WakelockGuardian guardian(sim_, mgr_, c);
+  mgr_.acquire(Component::kWifi, "x");
+  EXPECT_EQ(guardian.scan(), 0u);  // not yet over budget
+  sim_.schedule_at(at(20), [] {});
+  sim_.run_all();
+  EXPECT_EQ(guardian.scan(), 1u);
+  EXPECT_EQ(guardian.scan(), 0u);  // already revoked
+}
+
+TEST_F(GuardianTest, MultipleLocksRevokedInOneScan) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::seconds(10);
+  WakelockGuardian guardian(sim_, mgr_, c);
+  mgr_.acquire(Component::kWifi, "a");
+  mgr_.acquire(Component::kWps, "b");
+  sim_.schedule_at(at(30), [] {});
+  sim_.run_all();
+  EXPECT_EQ(guardian.scan(), 2u);
+  EXPECT_FALSE(mgr_.is_on(Component::kWifi));
+  EXPECT_FALSE(mgr_.is_on(Component::kWps));
+}
+
+TEST_F(GuardianTest, ScanningStopsAtHorizon) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::seconds(10);
+  c.scan_period = Duration::seconds(10);
+  WakelockGuardian guardian(sim_, mgr_, c);
+  guardian.start(at(100));
+  sim_.run_until(at(100));
+  const std::size_t events_at_horizon = sim_.events_processed();
+  sim_.schedule_at(at(5000), [] {});
+  sim_.run_all();
+  // No guardian scans beyond the horizon: only our marker event ran.
+  EXPECT_EQ(sim_.events_processed(), events_at_horizon + 1);
+}
+
+TEST_F(GuardianTest, RejectsBadConfig) {
+  WakelockGuardian::Config c;
+  c.hold_budget = Duration::zero();
+  EXPECT_THROW(WakelockGuardian(sim_, mgr_, c), std::logic_error);
+  c = WakelockGuardian::Config{};
+  c.scan_period = Duration::zero();
+  EXPECT_THROW(WakelockGuardian(sim_, mgr_, c), std::logic_error);
+}
+
+TEST_F(GuardianTest, TryReleaseAndHeldLocksApi) {
+  EXPECT_FALSE(mgr_.try_release(WakelockId{424242}));
+  const WakelockId id = mgr_.acquire(Component::kWifi, "x");
+  const auto held = mgr_.held_locks();
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].id, id);
+  EXPECT_EQ(held[0].holder, "x");
+  EXPECT_TRUE(mgr_.try_release(id));
+  EXPECT_TRUE(mgr_.held_locks().empty());
+}
+
+}  // namespace
+}  // namespace simty::hw

@@ -1,0 +1,96 @@
+#include "hw/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::hw {
+namespace {
+
+// The three measurements the paper publishes for the Nexus 5 (§2.2). The
+// model must reproduce them within a few percent — Fig 2's arithmetic and
+// all energy-shape claims flow from these anchors.
+TEST(PowerModelCalibration, BareWakeupIs180mJ) {
+  const PowerModel m = PowerModel::nexus5();
+  const Energy e = m.solo_delivery_energy(ComponentSet::none(), Duration::zero());
+  EXPECT_NEAR(e.mj(), 180.0, 180.0 * 0.05);
+}
+
+TEST(PowerModelCalibration, SoloWpsFixIs3650mJ) {
+  const PowerModel m = PowerModel::nexus5();
+  const Energy e = m.solo_delivery_energy(ComponentSet{Component::kWps},
+                                          Duration::seconds(10));
+  EXPECT_NEAR(e.mj(), 3650.0, 3650.0 * 0.05);
+}
+
+TEST(PowerModelCalibration, SoloNotificationIs400mJ) {
+  const PowerModel m = PowerModel::nexus5();
+  const Energy e = m.solo_delivery_energy(
+      ComponentSet{Component::kSpeaker, Component::kVibrator}, Duration::seconds(1));
+  EXPECT_NEAR(e.mj(), 400.0, 400.0 * 0.05);
+}
+
+TEST(PowerModel, HoldIsIgnoredForEmptySet) {
+  // An alarm that wakelocks nothing only pays the handler-floor session no
+  // matter what "hold" its task nominally reports.
+  const PowerModel m = PowerModel::nexus5();
+  EXPECT_DOUBLE_EQ(
+      m.solo_delivery_energy(ComponentSet::none(), Duration::seconds(30)).mj(),
+      m.solo_delivery_energy(ComponentSet::none(), Duration::zero()).mj());
+}
+
+TEST(PowerModel, EnergyGrowsWithHold) {
+  const PowerModel m = PowerModel::nexus5();
+  const ComponentSet wifi{Component::kWifi};
+  EXPECT_LT(m.solo_delivery_energy(wifi, Duration::seconds(1)).mj(),
+            m.solo_delivery_energy(wifi, Duration::seconds(5)).mj());
+}
+
+TEST(PowerModel, EnergyGrowsWithComponents) {
+  const PowerModel m = PowerModel::nexus5();
+  const Duration h = Duration::seconds(2);
+  EXPECT_LT(m.solo_delivery_energy(ComponentSet{Component::kWifi}, h).mj(),
+            m.solo_delivery_energy(
+                 ComponentSet{Component::kWifi, Component::kWps}, h)
+                .mj());
+}
+
+TEST(PowerModel, NegativeHoldRejected) {
+  const PowerModel m = PowerModel::nexus5();
+  EXPECT_THROW(m.solo_delivery_energy(ComponentSet{Component::kWifi},
+                                      -Duration::seconds(1)),
+               std::logic_error);
+}
+
+TEST(PowerModel, ComponentAccessorsAreConsistent) {
+  PowerModel m = PowerModel::nexus5();
+  m.component(Component::kGps).active = Power::milliwatts(999);
+  const PowerModel& cm = m;
+  EXPECT_DOUBLE_EQ(cm.component(Component::kGps).active.mw(), 999.0);
+}
+
+TEST(PowerModel, SerialFractionsInUnitRange) {
+  const PowerModel m = PowerModel::nexus5();
+  for (int i = 0; i < kComponentCount; ++i) {
+    const ComponentPower& p = m.component(static_cast<Component>(i));
+    EXPECT_GE(p.serial_fraction, 0.0);
+    EXPECT_LE(p.serial_fraction, 1.0);
+    EXPECT_GE(p.activation.mj(), 0.0);
+    EXPECT_GE(p.active.mw(), 0.0);
+  }
+}
+
+TEST(PowerModel, WpsPiggybacksPerfectly) {
+  // Fig 2(c): two aligned WPS alarms cost one fix — requires zero
+  // serialization on the WPS pipeline.
+  const PowerModel m = PowerModel::nexus5();
+  EXPECT_DOUBLE_EQ(m.component(Component::kWps).serial_fraction, 0.0);
+}
+
+TEST(PowerModel, SleepFloorBelowAwake) {
+  const PowerModel m = PowerModel::nexus5();
+  EXPECT_LT(m.sleep, m.awake_base);
+  EXPECT_LT(m.sleep, m.waking);
+  EXPECT_FALSE(m.wake_latency.is_zero());
+}
+
+}  // namespace
+}  // namespace simty::hw

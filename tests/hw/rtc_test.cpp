@@ -1,0 +1,85 @@
+#include "hw/rtc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simty::hw {
+namespace {
+
+class RtcTest : public ::testing::Test {
+ protected:
+  RtcTest() : model_(PowerModel::nexus5()), device_(sim_, model_, bus_), rtc_(sim_, device_) {}
+  TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+  sim::Simulator sim_;
+  PowerModel model_;
+  PowerBus bus_;
+  Device device_;
+  Rtc rtc_;
+};
+
+TEST_F(RtcTest, FiresHandlerAfterWakeLatency) {
+  TimePoint handled;
+  rtc_.program(at(10), [&] { handled = sim_.now(); });
+  sim_.run_until(at(20));
+  EXPECT_EQ(handled, at(10) + model_.wake_latency);
+  EXPECT_EQ(rtc_.fired_count(), 1u);
+  EXPECT_FALSE(rtc_.programmed().has_value());
+}
+
+TEST_F(RtcTest, HandlerImmediateWhenDeviceAlreadyAwake) {
+  TimePoint first, second;
+  rtc_.program(at(10), [&] {
+    first = sim_.now();
+    // Keep awake past the next deadline via a cpu lock.
+    device_.acquire_cpu_lock();
+    rtc_.program(at(12), [&] {
+      second = sim_.now();
+      device_.release_cpu_lock();
+    });
+  });
+  sim_.run_until(at(20));
+  EXPECT_EQ(first, at(10) + model_.wake_latency);
+  EXPECT_EQ(second, at(12));  // no extra latency: device already awake
+  EXPECT_EQ(device_.wakeup_count(), 1u);
+}
+
+TEST_F(RtcTest, ReprogramReplacesDeadline) {
+  int fired = 0;
+  rtc_.program(at(10), [&] { ++fired; });
+  rtc_.program(at(5), [&] { fired += 10; });
+  ASSERT_TRUE(rtc_.programmed().has_value());
+  EXPECT_EQ(*rtc_.programmed(), at(5));
+  sim_.run_until(at(20));
+  EXPECT_EQ(fired, 10);  // only the replacement fired
+  EXPECT_EQ(rtc_.fired_count(), 1u);
+}
+
+TEST_F(RtcTest, ClearCancelsInterrupt) {
+  int fired = 0;
+  rtc_.program(at(10), [&] { ++fired; });
+  rtc_.clear();
+  EXPECT_FALSE(rtc_.programmed().has_value());
+  sim_.run_until(at(20));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(device_.wakeup_count(), 0u);
+}
+
+TEST_F(RtcTest, PastDeadlineRejected) {
+  sim_.schedule_at(at(10), [] {});
+  sim_.run_all();
+  EXPECT_THROW(rtc_.program(at(5), [] {}), std::logic_error);
+}
+
+TEST_F(RtcTest, HandlerCanReprogramForPeriodicWakeups) {
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    if (fired < 5) rtc_.program(sim_.now() + Duration::seconds(60), tick);
+  };
+  rtc_.program(at(60), tick);
+  sim_.run_until(at(600));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(device_.wakeup_count(), 5u);  // device slept between ticks
+}
+
+}  // namespace
+}  // namespace simty::hw

@@ -1,0 +1,79 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simty::metrics {
+namespace {
+
+TEST(Histogram, CountsMeanMinMax) {
+  Histogram h(1.0, 10);
+  for (const double v : {0.05, 0.15, 0.15, 0.35}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.mean(), 0.175, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 0.05);
+  EXPECT_DOUBLE_EQ(h.max(), 0.35);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(1.0, 10);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(1.0);  // boundary goes to overflow (range is [0, upper))
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 2.5);
+}
+
+TEST(Histogram, QuantilesOnUniformData) {
+  Histogram h(1.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 0.02);
+  EXPECT_NEAR(h.quantile(1.0), 1.0, 0.02);
+}
+
+TEST(Histogram, QuantileOfPointMass) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(0.42);
+  EXPECT_NEAR(h.quantile(0.5), 0.42, 0.1);  // within the bucket
+  EXPECT_LE(h.quantile(1.0), 0.42 + 1e-12);  // clamped to observed max
+}
+
+TEST(Histogram, QuantileResolvesOverflowToMax) {
+  Histogram h(1.0, 10);
+  h.add(0.1);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, Guards) {
+  EXPECT_THROW(Histogram(0.0, 10), std::logic_error);
+  EXPECT_THROW(Histogram(1.0, 0), std::logic_error);
+  Histogram h(1.0, 10);
+  EXPECT_THROW(h.add(-0.1), std::logic_error);
+  EXPECT_THROW(h.quantile(0.5), std::logic_error);  // empty
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(1.5), std::logic_error);
+}
+
+TEST(Histogram, RenderShowsBarsAndOverflow) {
+  Histogram h(1.0, 4);
+  for (int i = 0; i < 8; ++i) h.add(0.1);
+  h.add(0.6);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("########"), std::string::npos);
+  EXPECT_NE(out.find("inf"), std::string::npos);
+  EXPECT_EQ(Histogram(1.0, 4).render(), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace simty::metrics

@@ -1,0 +1,77 @@
+#include "metrics/wakeup_breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alarm/native_policy.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::metrics {
+namespace {
+
+using hw::Component;
+using hw::ComponentSet;
+
+TEST(WakeupAccounting, CountsDeliveriesPerComponent) {
+  WakeupAccounting acc;
+  alarm::DeliveryRecord r;
+  r.hardware_used = ComponentSet{Component::kWifi};
+  acc.observe(r);
+  acc.observe(r);
+  r.hardware_used = ComponentSet{Component::kWifi, Component::kWps};
+  acc.observe(r);
+  r.hardware_used = ComponentSet::none();
+  acc.observe(r);
+  EXPECT_EQ(acc.total_deliveries(), 4u);
+  EXPECT_EQ(acc.deliveries_using(Component::kWifi), 3u);
+  EXPECT_EQ(acc.deliveries_using(Component::kWps), 1u);
+  EXPECT_EQ(acc.deliveries_using(Component::kAccelerometer), 0u);
+}
+
+TEST(BreakdownRow, RatioString) {
+  EXPECT_EQ((BreakdownRow{"CPU", 733, 983}).ratio_string(), "733/983");
+}
+
+class WakeupBreakdownIntegration : public test::FrameworkFixture {};
+
+TEST_F(WakeupBreakdownIntegration, RowsMatchDeviceAndWakelocks) {
+  init(std::make_unique<alarm::NativePolicy>());
+  WakeupAccounting acc;
+  manager_->add_delivery_observer(acc.observer());
+
+  // Two WPS alarms that align (one on-cycle, two deliveries) plus one
+  // notification alarm far away (own wakeup). Windows are kept narrow
+  // (alpha = 0.05 -> 180 s) so the 2000 s notification cannot join them.
+  for (int i = 0; i < 2; ++i) {
+    manager_->register_alarm(
+        alarm::AlarmSpec::repeating("wps" + std::to_string(i), alarm::AppId{1},
+                                    alarm::RepeatMode::kStatic,
+                                    Duration::seconds(3600), 0.05, 0.96),
+        at(100 + i * 60), task(ComponentSet{Component::kWps}, Duration::seconds(10)));
+  }
+  manager_->register_alarm(
+      alarm::AlarmSpec::repeating("bell", alarm::AppId{2},
+                                  alarm::RepeatMode::kStatic,
+                                  Duration::seconds(3600), 0.0, 0.5),
+      at(2000),
+      task(ComponentSet{Component::kSpeaker, Component::kVibrator},
+           Duration::seconds(1)));
+  sim_.run_until(at(3000));
+
+  const auto rows = acc.rows(*device_, *wakelocks_);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].hardware, "CPU");
+  EXPECT_EQ(rows[0].actual, 2u);    // one aligned WPS wakeup + the bell
+  EXPECT_EQ(rows[0].expected, 3u);  // three deliveries
+  EXPECT_EQ(rows[1].hardware, "Speaker&Vibrator");
+  EXPECT_EQ(rows[1].actual, 1u);
+  EXPECT_EQ(rows[1].expected, 1u);
+  EXPECT_EQ(rows[2].hardware, "Wi-Fi");
+  EXPECT_EQ(rows[2].actual, 0u);
+  EXPECT_EQ(rows[3].hardware, "WPS");
+  EXPECT_EQ(rows[3].actual, 1u);    // piggybacked on one cycle
+  EXPECT_EQ(rows[3].expected, 2u);
+  EXPECT_EQ(rows[4].hardware, "Accelerometer");
+}
+
+}  // namespace
+}  // namespace simty::metrics

@@ -1,0 +1,102 @@
+#include "net/wifi_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace simty::net {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+
+TEST(WifiLink, StartsGoodWithConfiguredRate) {
+  sim::Simulator sim;
+  WifiLinkConfig c;
+  WifiLink link(sim, c, Rng(1));
+  EXPECT_TRUE(link.good());
+  EXPECT_DOUBLE_EQ(link.current_rate_kbps(), c.good_rate_kbps);
+}
+
+TEST(WifiLink, TransferTimeScalesWithBytesAndRate) {
+  sim::Simulator sim;
+  WifiLinkConfig c;
+  c.good_rate_kbps = 8000.0;  // 1 MB/s
+  c.protocol_overhead = Duration::millis(600);
+  WifiLink link(sim, c, Rng(1));
+  // 1 MB at 1 MB/s = 1 s + 0.6 s overhead.
+  EXPECT_EQ(link.transfer_time(1'000'000), Duration::millis(1600));
+  // Zero bytes still pay the protocol overhead.
+  EXPECT_EQ(link.transfer_time(0), Duration::millis(600));
+}
+
+TEST(WifiLink, TransitionsBetweenStates) {
+  sim::Simulator sim;
+  WifiLinkConfig c;
+  c.mean_good_dwell = Duration::seconds(30);
+  c.mean_bad_dwell = Duration::seconds(10);
+  WifiLink link(sim, c, Rng(3));
+  link.start(at(3600));
+  sim.run_until(at(3600));
+  // Roughly 3600/40 = 90 full cycles -> > 50 transitions for sure.
+  EXPECT_GT(link.transitions(), 50u);
+}
+
+TEST(WifiLink, GoodFractionMatchesDwellRatio) {
+  sim::Simulator sim;
+  WifiLinkConfig c;
+  c.mean_good_dwell = Duration::seconds(90);
+  c.mean_bad_dwell = Duration::seconds(30);
+  WifiLink link(sim, c, Rng(5));
+  link.start(at(36000));
+  sim.run_until(at(36000));
+  // Expected good fraction = 90 / 120 = 0.75.
+  EXPECT_NEAR(link.good_fraction(at(36000)), 0.75, 0.08);
+}
+
+TEST(WifiLink, BadStateSlowsTransfers) {
+  sim::Simulator sim;
+  WifiLinkConfig c;
+  c.mean_good_dwell = Duration::seconds(10);
+  c.mean_bad_dwell = Duration::seconds(10);
+  WifiLink link(sim, c, Rng(7));
+  link.start(at(3600));
+  // Advance until the link flips to bad.
+  while (link.good() && sim.now() < at(3600)) sim.step();
+  ASSERT_FALSE(link.good());
+  EXPECT_DOUBLE_EQ(link.current_rate_kbps(), c.bad_rate_kbps);
+  EXPECT_GT(link.transfer_time(100'000), Duration::millis(600));
+}
+
+TEST(WifiLink, NoTransitionsBeforeStart) {
+  sim::Simulator sim;
+  WifiLink link(sim, WifiLinkConfig{}, Rng(1));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(WifiLink, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    WifiLinkConfig c;
+    c.mean_good_dwell = Duration::seconds(20);
+    c.mean_bad_dwell = Duration::seconds(20);
+    WifiLink link(sim, c, Rng(seed));
+    link.start(TimePoint::origin() + Duration::hours(1));
+    sim.run_until(TimePoint::origin() + Duration::hours(1));
+    return link.transitions();
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(WifiLink, RejectsBadConfig) {
+  sim::Simulator sim;
+  WifiLinkConfig c;
+  c.good_rate_kbps = 0.0;
+  EXPECT_THROW(WifiLink(sim, c, Rng(1)), std::logic_error);
+  c = WifiLinkConfig{};
+  c.mean_bad_dwell = Duration::zero();
+  EXPECT_THROW(WifiLink(sim, c, Rng(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simty::net

@@ -1,0 +1,93 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simty::sim {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(3), EventPriority::kFramework, [&] { order.push_back(3); });
+  q.schedule(at(1), EventPriority::kFramework, [&] { order.push_back(1); });
+  q.schedule(at(2), EventPriority::kFramework, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTiesAtSameInstant) {
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule(at(5), EventPriority::kApp, [&] { order.push_back("app"); });
+  q.schedule(at(5), EventPriority::kHardware, [&] { order.push_back("hw"); });
+  q.schedule(at(5), EventPriority::kObserver, [&] { order.push_back("obs"); });
+  q.schedule(at(5), EventPriority::kFramework, [&] { order.push_back("fw"); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<std::string>{"hw", "fw", "app", "obs"}));
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(at(1), EventPriority::kFramework, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelRemovesPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(at(1), EventPriority::kFramework, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+  // Second cancel is a no-op returning false.
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(at(1), EventPriority::kFramework, [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeAndLabels) {
+  EventQueue q;
+  q.schedule(at(9), EventPriority::kFramework, [] {}, "later");
+  q.schedule(at(4), EventPriority::kFramework, [] {}, "sooner");
+  EXPECT_EQ(q.next_time(), at(4));
+  EXPECT_EQ(q.pop().label, "sooner");
+  EXPECT_EQ(q.pop().label, "later");
+}
+
+TEST(EventQueue, SizeTracksScheduleAndPop) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.schedule(at(1), EventPriority::kFramework, [] {});
+  q.schedule(at(2), EventPriority::kFramework, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyPopAndNextTimeThrow) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, EmptyCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(at(1), EventPriority::kFramework, EventCallback{}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace simty::sim

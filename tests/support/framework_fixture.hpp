@@ -1,0 +1,75 @@
+#pragma once
+// Shared test harness wiring up the full framework stack: simulator, power
+// bus, device, RTC, wakelock manager, and an alarm manager with a
+// test-chosen policy. FrameworkHarness is a plain struct usable anywhere;
+// FrameworkFixture adapts it as a gtest fixture.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "alarm/policy.hpp"
+#include "hw/device.hpp"
+#include "hw/power_bus.hpp"
+#include "hw/power_model.hpp"
+#include "hw/rtc.hpp"
+#include "hw/wakelock.hpp"
+#include "sim/simulator.hpp"
+
+namespace simty::test {
+
+/// Framework stack with a pluggable alignment policy. Records every
+/// delivery for assertions.
+struct FrameworkHarness {
+  FrameworkHarness() : model_(hw::PowerModel::nexus5()) {}
+
+  /// Call once before registering alarms.
+  void init(std::unique_ptr<alarm::AlignmentPolicy> policy) {
+    device_ = std::make_unique<hw::Device>(sim_, model_, bus_);
+    rtc_ = std::make_unique<hw::Rtc>(sim_, *device_);
+    wakelocks_ = std::make_unique<hw::WakelockManager>(sim_, model_, bus_);
+    manager_ = std::make_unique<alarm::AlarmManager>(sim_, *device_, *rtc_,
+                                                     *wakelocks_, std::move(policy));
+    manager_->add_delivery_observer(
+        [this](const alarm::DeliveryRecord& r) { deliveries_.push_back(r); });
+  }
+
+  TimePoint at(std::int64_t s) { return TimePoint::origin() + Duration::seconds(s); }
+
+  /// Handler returning a fixed task.
+  static alarm::DeliveryHandler task(hw::ComponentSet set, Duration hold) {
+    return [set, hold](const alarm::Alarm&, TimePoint) {
+      return alarm::TaskSpec{set, hold};
+    };
+  }
+
+  /// Handler for a CPU-only alarm.
+  static alarm::DeliveryHandler noop_task() {
+    return task(hw::ComponentSet::none(), Duration::zero());
+  }
+
+  /// Deliveries recorded for a given alarm.
+  std::vector<alarm::DeliveryRecord> deliveries_of(alarm::AlarmId id) const {
+    std::vector<alarm::DeliveryRecord> out;
+    for (const auto& r : deliveries_) {
+      if (r.id == id) out.push_back(r);
+    }
+    return out;
+  }
+
+  sim::Simulator sim_;
+  hw::PowerModel model_;
+  hw::PowerBus bus_;
+  std::unique_ptr<hw::Device> device_;
+  std::unique_ptr<hw::Rtc> rtc_;
+  std::unique_ptr<hw::WakelockManager> wakelocks_;
+  std::unique_ptr<alarm::AlarmManager> manager_;
+  std::vector<alarm::DeliveryRecord> deliveries_;
+};
+
+/// gtest adapter over the harness.
+class FrameworkFixture : public ::testing::Test, public FrameworkHarness {};
+
+}  // namespace simty::test

@@ -1,0 +1,104 @@
+#include "usage/day_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/battery.hpp"
+
+namespace simty::usage {
+namespace {
+
+TEST(SampleSessions, RespectsNightWindowAndDayBounds) {
+  UsagePattern p;
+  const auto sessions = sample_sessions(p, 1);
+  ASSERT_FALSE(sessions.empty());
+  for (const InteractiveSession& s : sessions) {
+    const Duration start = s.start - TimePoint::origin();
+    EXPECT_GE(start, p.night_end);
+    EXPECT_LE(start + s.length, p.night_start);
+    EXPECT_GE(s.length, Duration::seconds(10));
+  }
+  // Sessions are ordered and non-overlapping.
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    EXPECT_GE(sessions[i].start, sessions[i - 1].start + sessions[i - 1].length);
+  }
+}
+
+TEST(SampleSessions, DeterministicPerSeed) {
+  UsagePattern p;
+  const auto a = sample_sessions(p, 7);
+  const auto b = sample_sessions(p, 7);
+  const auto c = sample_sessions(p, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].length, b[i].length);
+  }
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(SampleSessions, SessionCountTracksGapParameter) {
+  UsagePattern sparse;
+  sparse.mean_session_gap = Duration::hours(2);
+  UsagePattern dense;
+  dense.mean_session_gap = Duration::minutes(10);
+  EXPECT_GT(sample_sessions(dense, 3).size(), sample_sessions(sparse, 3).size());
+}
+
+TEST(SampleSessions, RejectsBadPattern) {
+  UsagePattern p;
+  p.mean_session_gap = Duration::zero();
+  EXPECT_THROW(sample_sessions(p, 1), std::logic_error);
+  p = UsagePattern{};
+  p.night_end = p.night_start + Duration::hours(1);
+  EXPECT_THROW(sample_sessions(p, 1), std::logic_error);
+}
+
+class SimulateDayTest : public ::testing::Test {
+ protected:
+  static exp::ExperimentConfig standby_config(exp::PolicyKind policy) {
+    exp::ExperimentConfig c;
+    c.policy = policy;
+    c.workload = exp::WorkloadKind::kHeavy;
+    c.duration = Duration::hours(1);
+    return c;
+  }
+};
+
+TEST_F(SimulateDayTest, ReproducesPaperContextShape) {
+  const DayResult day =
+      simulate_day(standby_config(exp::PolicyKind::kNative), UsagePattern{}, 1);
+  // Ref [9]: ~89% of time in standby, standby energy a large minority share.
+  EXPECT_GT(day.standby_time_share(), 0.80);
+  EXPECT_LT(day.standby_time_share(), 0.97);
+  EXPECT_GT(day.standby_energy_share(), 0.25);
+  EXPECT_LT(day.standby_energy_share(), 0.60);
+  EXPECT_EQ(day.day_length(), Duration::hours(24));
+  EXPECT_GT(day.standby_power_mw, 10.0);
+}
+
+TEST_F(SimulateDayTest, SimtyExtendsBatteryDays) {
+  const hw::Battery pack = hw::Battery::nexus5();
+  const DayResult native =
+      simulate_day(standby_config(exp::PolicyKind::kNative), UsagePattern{}, 1);
+  const DayResult simty =
+      simulate_day(standby_config(exp::PolicyKind::kSimty), UsagePattern{}, 1);
+  // Same sampled day (same seed): interactive halves identical.
+  EXPECT_EQ(native.interactive_time, simty.interactive_time);
+  EXPECT_DOUBLE_EQ(native.interactive_energy.mj(), simty.interactive_energy.mj());
+  // Standby is cheaper under SIMTY; whole-day life improves.
+  EXPECT_LT(simty.standby_energy.mj(), native.standby_energy.mj());
+  EXPECT_GT(simty.battery_days(pack.capacity()),
+            native.battery_days(pack.capacity()));
+}
+
+TEST_F(SimulateDayTest, EnergyCompositionConsistent) {
+  const DayResult day =
+      simulate_day(standby_config(exp::PolicyKind::kSimty), UsagePattern{}, 2);
+  EXPECT_NEAR(day.total_energy().mj(),
+              day.interactive_energy.mj() + day.standby_energy.mj(), 1e-9);
+  EXPECT_NEAR(day.standby_energy.mj(),
+              day.standby_power_mw * day.standby_time.seconds_f(), 1e-6);
+}
+
+}  // namespace
+}  // namespace simty::usage

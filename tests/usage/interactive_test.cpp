@@ -1,0 +1,105 @@
+#include "usage/interactive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alarm/simty_policy.hpp"
+#include "hw/battery.hpp"
+#include "support/framework_fixture.hpp"
+
+namespace simty::usage {
+namespace {
+
+class InteractiveDriverTest : public test::FrameworkFixture {};
+
+TEST_F(InteractiveDriverTest, SessionsWakeHoldScreenAndSleepAfter) {
+  init(std::make_unique<alarm::SimtyPolicy>());
+  InteractiveDriver driver(sim_, *device_, *wakelocks_);
+  driver.schedule({{at(100), Duration::seconds(60)},
+                   {at(500), Duration::seconds(30)}});
+  sim_.run_until(at(1000));
+  EXPECT_EQ(driver.sessions_completed(), 2u);
+  EXPECT_EQ(driver.screen_on_time(), Duration::seconds(90));
+  EXPECT_EQ(device_->wakeups_for(hw::WakeReason::kUserButton), 2u);
+  EXPECT_EQ(wakelocks_->usage(hw::Component::kScreen).cycles, 2u);
+  EXPECT_EQ(wakelocks_->usage(hw::Component::kScreen).on_time, Duration::seconds(90));
+  EXPECT_EQ(device_->state(), hw::DeviceState::kAsleep);
+}
+
+TEST_F(InteractiveDriverTest, NonWakeupAlarmRidesASession) {
+  init(std::make_unique<alarm::SimtyPolicy>());
+  alarm::AlarmSpec spec = alarm::AlarmSpec::repeating(
+      "lazy", alarm::AppId{1}, alarm::RepeatMode::kStatic, Duration::seconds(600),
+      0.1, 0.9);
+  spec.kind = alarm::AlarmKind::kNonWakeup;
+  const alarm::AlarmId lazy = manager_->register_alarm(spec, at(100), noop_task());
+
+  InteractiveDriver driver(sim_, *device_, *wakelocks_);
+  driver.schedule({{at(400), Duration::seconds(45)}});
+  sim_.run_until(at(500));
+  const auto recs = deliveries_of(lazy);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].delivered, at(400) + model_.wake_latency);
+}
+
+TEST_F(InteractiveDriverTest, PastSessionRejected) {
+  init(std::make_unique<alarm::SimtyPolicy>());
+  sim_.schedule_at(at(100), [] {});
+  sim_.run_all();
+  InteractiveDriver driver(sim_, *device_, *wakelocks_);
+  EXPECT_THROW(driver.schedule({{at(50), Duration::seconds(10)}}), std::logic_error);
+}
+
+class MixedDayTest : public ::testing::Test {
+ protected:
+  static exp::ExperimentConfig config(exp::PolicyKind policy) {
+    exp::ExperimentConfig c;
+    c.policy = policy;
+    c.workload = exp::WorkloadKind::kLight;
+    return c;
+  }
+};
+
+TEST_F(MixedDayTest, FullDayRunsAndAccounts) {
+  const MixedDayResult day = simulate_day_mixed(config(exp::PolicyKind::kSimty),
+                                                UsagePattern{}, 1);
+  EXPECT_GT(day.sessions, 10u);
+  EXPECT_GT(day.screen_on_time, Duration::minutes(20));
+  // Most sessions wake the device; a few start while an alarm session
+  // already has it awake (no button wakeup counted then).
+  EXPECT_LE(day.user_wakeups, day.sessions);
+  EXPECT_GE(day.user_wakeups, day.sessions * 3 / 4);
+  EXPECT_GT(day.deliveries, 500.0);  // 24 h of the light workload
+  // The non-wakeup housekeeping task got delivered by riding wakeups.
+  EXPECT_GT(day.nonwakeup_deliveries, 10.0);
+  EXPECT_GT(day.energy.total().joules_f(), 1000.0);
+  EXPECT_GT(day.battery_days(hw::Battery::nexus5().capacity()), 1.0);
+}
+
+TEST_F(MixedDayTest, SimtyBeatsNativeOverAMixedDay) {
+  const MixedDayResult native =
+      simulate_day_mixed(config(exp::PolicyKind::kNative), UsagePattern{}, 1);
+  const MixedDayResult simty =
+      simulate_day_mixed(config(exp::PolicyKind::kSimty), UsagePattern{}, 1);
+  // Identical sampled day (same seed): screen halves match exactly.
+  EXPECT_EQ(native.screen_on_time, simty.screen_on_time);
+  // Alignment still wins with interaction in the mix, by a smaller
+  // relative margin than standby-only (screen energy is untouchable).
+  EXPECT_LT(simty.energy.total().mj(), native.energy.total().mj());
+  EXPECT_LT(simty.wakeups, native.wakeups);
+  const double saving =
+      1.0 - simty.energy.total().ratio(native.energy.total());
+  EXPECT_GT(saving, 0.05);
+  EXPECT_LT(saving, 0.25);
+}
+
+TEST_F(MixedDayTest, DeterministicPerSeed) {
+  const MixedDayResult a =
+      simulate_day_mixed(config(exp::PolicyKind::kSimty), UsagePattern{}, 4);
+  const MixedDayResult b =
+      simulate_day_mixed(config(exp::PolicyKind::kSimty), UsagePattern{}, 4);
+  EXPECT_DOUBLE_EQ(a.energy.total().mj(), b.energy.total().mj());
+  EXPECT_EQ(a.wakeups, b.wakeups);
+}
+
+}  // namespace
+}  // namespace simty::usage
