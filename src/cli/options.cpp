@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/strings.hpp"
+#include "exp/parallel_runner.hpp"
 
 namespace simty::cli {
 
@@ -129,6 +130,18 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       plan.repetitions = static_cast<int>(*n);
       continue;
     }
+    if (arg == "--jobs") {
+      const auto v = value();
+      if (!v) return fail("--jobs needs a positive integer or 'auto'");
+      if (*v == "auto") {
+        plan.jobs = exp::ParallelRunner::default_jobs();
+        continue;
+      }
+      const auto n = parse_int(*v);
+      if (!n || *n <= 0) return fail("--jobs needs a positive integer or 'auto'");
+      plan.jobs = static_cast<int>(*n);
+      continue;
+    }
     if (arg == "--no-system-alarms") {
       plan.config.system_alarms = false;
       continue;
@@ -194,6 +207,9 @@ std::string usage() {
       "  --minutes M          standby duration in minutes\n"
       "  --seed N             base seed (default 1)\n"
       "  --reps N             repetitions averaged (default 3)\n"
+      "  --jobs N|auto        parallel workers for the repetitions; results\n"
+      "                       are bit-identical to --jobs 1 (default 1,\n"
+      "                       auto = $SIMTY_JOBS or the hardware threads)\n"
       "  --no-system-alarms   disable the Android system-alarm mix\n"
       "  --doze               enable AOSP-M-style doze maintenance windows\n"
       "  --hw-levels 2|3|4    hardware-similarity granularity (default 3)\n"

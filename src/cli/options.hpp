@@ -20,6 +20,7 @@ struct RunPlan {
                                            exp::PolicyKind::kSimty};
 
   int repetitions = 3;
+  int jobs = 1;                              // parallel workers for repetitions
   std::optional<std::string> csv_path;       // write results CSV here
   std::optional<std::string> trace_path;     // write a delivery log here
   std::optional<std::string> waveform_path;  // write the power waveform here
@@ -44,6 +45,7 @@ struct ParseResult {
 ///   --hours H | --minutes M   standby duration
 ///   --seed N           base seed
 ///   --reps N           repetitions (averaged)
+///   --jobs N|auto      parallel workers for repetitions (deterministic)
 ///   --no-system-alarms
 ///   --hw-levels 2|3|4  hardware-similarity granularity
 ///   --csv PATH         write per-column results CSV

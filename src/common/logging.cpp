@@ -18,11 +18,14 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
   sink_ = sink ? std::move(sink) : Sink(default_sink);
 }
 
 void Logger::log(LogLevel level, const std::string& msg) {
-  if (level < level_ || level_ == LogLevel::kOff) return;
+  const LogLevel threshold = level_.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   sink_(level, msg);
 }
 

@@ -6,16 +6,22 @@
 // ... log every alarm's time attributes and hardware usage at runtime") and
 // for debugging experiment harnesses. Output goes to an injectable sink so
 // tests can capture it.
+//
+// Each Simulator is single-threaded, but the parallel experiment runner
+// executes many simulators at once and they all share this singleton — so
+// the level is atomic and the sink is called under a mutex (which also
+// keeps concurrent runs' lines from interleaving mid-message).
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 
 namespace simty {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide logger. Not thread-safe by design: the simulator is
-/// single-threaded (discrete-event determinism requires it).
+/// Process-wide, thread-safe logger.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -24,18 +30,21 @@ class Logger {
   static Logger& instance();
 
   /// Messages below `level` are dropped. Default: kWarn (quiet benches).
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replaces the output sink (default writes to stderr). Pass nullptr to
-  /// restore the default sink.
+  /// restore the default sink. The sink itself is invoked under the logger
+  /// mutex, so it need not be reentrant — but a sink installed while
+  /// parallel runs are in flight will observe their interleaved messages.
   void set_sink(Sink sink);
 
   void log(LogLevel level, const std::string& msg);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  // guards sink_ (replacement and invocation)
   Sink sink_;
 };
 

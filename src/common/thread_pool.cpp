@@ -1,0 +1,40 @@
+#include "common/thread_pool.hpp"
+
+namespace simty {
+
+ThreadPool::ThreadPool(std::size_t workers) : inline_(workers == 0) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) return;  // shutdown requested and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // a packaged_task: exceptions land in the caller's future
+  }
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  ready_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace simty

@@ -1,0 +1,76 @@
+#pragma once
+// Fixed-size thread pool for fanning out independent seeded runs.
+//
+// Deliberately minimal — a fixed worker count, a FIFO queue, no work
+// stealing and no priorities: callers submit self-contained jobs and
+// collect std::futures in submission order, which is how the experiment
+// layer keeps parallel reductions byte-identical to the serial path.
+// Exceptions thrown by a job are captured in its future and rethrown at
+// get(). shutdown() (and the destructor) drains all queued work before
+// joining the workers.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace simty {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 means "run every task inline on submit()":
+  /// no threads at all, so a zero-worker pool is exactly the serial path.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues `f` and returns the future of its result. Futures complete
+  /// in whatever order the workers finish; callers that need determinism
+  /// keep the futures in submission order and get() them in that order.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SIMTY_CHECK_MSG(accepting_, "ThreadPool::submit after shutdown");
+      if (!inline_) queue_.emplace_back([task] { (*task)(); });
+    }
+    if (inline_) {
+      (*task)();  // zero-worker pool: run on the caller, outside the lock
+    } else {
+      ready_.notify_one();
+    }
+    return future;
+  }
+
+  /// Stops accepting new work, runs everything still queued, joins the
+  /// workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool accepting_ = true;
+  const bool inline_;  // constructed with zero workers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace simty

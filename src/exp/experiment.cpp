@@ -10,6 +10,7 @@
 #include "alarm/native_policy.hpp"
 #include "alarm/simty_policy.hpp"
 #include "common/check.hpp"
+#include "exp/parallel_runner.hpp"
 #include "hw/battery.hpp"
 #include "hw/device.hpp"
 #include "hw/power_bus.hpp"
@@ -238,27 +239,44 @@ RunResult average_results(const std::vector<RunResult>& results) {
   return mean;
 }
 
-RunResult run_repeated(ExperimentConfig config, int repetitions) {
-  SIMTY_CHECK(repetitions > 0);
-  std::vector<RunResult> results;
-  results.reserve(static_cast<std::size_t>(repetitions));
+namespace {
+
+std::vector<ExperimentConfig> seeded_configs(const ExperimentConfig& config,
+                                             int repetitions) {
+  std::vector<ExperimentConfig> configs(static_cast<std::size_t>(repetitions),
+                                        config);
   for (int i = 0; i < repetitions; ++i) {
-    ExperimentConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(i);
-    results.push_back(run_experiment(c));
+    configs[static_cast<std::size_t>(i)].seed =
+        config.seed + static_cast<std::uint64_t>(i);
   }
-  return average_results(results);
+  return configs;
 }
 
-RepeatedStats run_repeated_stats(ExperimentConfig config, int repetitions) {
+// Caller-supplied hooks (delivery/session observers, power listeners) are
+// owned by the caller and invoked from whichever run carries them; they are
+// not required to be thread-safe, so their presence forces the serial path.
+bool has_external_hooks(const ExperimentConfig& c) {
+  return c.extra_power_listener != nullptr ||
+         static_cast<bool>(c.extra_delivery_observer) ||
+         static_cast<bool>(c.extra_session_observer);
+}
+
+}  // namespace
+
+RunResult run_repeated(ExperimentConfig config, int repetitions, int jobs) {
   SIMTY_CHECK(repetitions > 0);
-  std::vector<RunResult> results;
+  if (has_external_hooks(config)) jobs = 1;
+  return average_results(run_sweep(seeded_configs(config, repetitions), jobs));
+}
+
+RepeatedStats run_repeated_stats(ExperimentConfig config, int repetitions,
+                                 int jobs) {
+  SIMTY_CHECK(repetitions > 0);
+  if (has_external_hooks(config)) jobs = 1;
+  const std::vector<RunResult> results =
+      run_sweep(seeded_configs(config, repetitions), jobs);
   RepeatedStats out;
-  for (int i = 0; i < repetitions; ++i) {
-    ExperimentConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(i);
-    results.push_back(run_experiment(c));
-    const RunResult& r = results.back();
+  for (const RunResult& r : results) {
     out.total_j.add(r.energy.total().joules_f());
     out.awake_j.add(r.energy.awake_total().joules_f());
     out.delay_imperceptible.add(r.delay_imperceptible);

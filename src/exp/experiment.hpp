@@ -103,8 +103,12 @@ struct RunResult {
 RunResult run_experiment(const ExperimentConfig& config);
 
 /// Runs `repetitions` experiments with seeds seed, seed+1, ... and returns
-/// the component-wise mean.
-RunResult run_repeated(ExperimentConfig config, int repetitions);
+/// the component-wise mean. `jobs > 1` fans the seeds out over a thread
+/// pool (see exp/parallel_runner.hpp); results are reduced in seed order,
+/// so the mean is byte-identical to the serial path. Configs carrying
+/// extra observers or power listeners always run serially — those hooks
+/// are caller-owned and not required to be thread-safe.
+RunResult run_repeated(ExperimentConfig config, int repetitions, int jobs = 1);
 
 /// Component-wise mean of per-seed results (exposed for tests).
 RunResult average_results(const std::vector<RunResult>& results);
@@ -120,6 +124,8 @@ struct RepeatedStats {
   OnlineStats standby_hours;
 };
 
-RepeatedStats run_repeated_stats(ExperimentConfig config, int repetitions);
+/// Same parallelism and determinism contract as run_repeated.
+RepeatedStats run_repeated_stats(ExperimentConfig config, int repetitions,
+                                 int jobs = 1);
 
 }  // namespace simty::exp

@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic parallel fan-out of independent experiment runs.
+//
+// Every seeded run builds its own full stack (Simulator, device, RTC,
+// wakelocks, accountant, alarm manager, workload — see run_experiment), so
+// runs share no mutable state and the only cross-run coupling is the
+// reduction. ParallelRunner reduces strictly in submission order: serial
+// and parallel execution produce byte-identical RunResult vectors no
+// matter how the OS schedules the workers. This is the substrate under
+// run_repeated / run_repeated_stats / run_sweep and the sweep benches.
+
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace simty::exp {
+
+class ParallelRunner {
+ public:
+  /// `jobs` is the worker count; anything <= 1 runs inline on the calling
+  /// thread (no pool at all — the exact serial path).
+  explicit ParallelRunner(int jobs);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs every config and returns the results in the order given. If any
+  /// run throws, the first exception in submission order is rethrown.
+  std::vector<RunResult> run(const std::vector<ExperimentConfig>& configs) const;
+
+  /// Worker count for `--jobs auto` and the benches: $SIMTY_JOBS when set
+  /// to a positive integer, else std::thread::hardware_concurrency
+  /// (at least 1).
+  static int default_jobs();
+
+ private:
+  int jobs_;
+};
+
+/// Convenience: fans `configs` out over `jobs` workers and reduces in
+/// submission order. `jobs = 1` is the serial path.
+std::vector<RunResult> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                 int jobs = 1);
+
+}  // namespace simty::exp

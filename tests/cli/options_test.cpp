@@ -62,6 +62,18 @@ TEST(CliOptions, ParsesNumericFlags) {
             alarm::HardwareSimilarityMode::kFourLevel);
 }
 
+TEST(CliOptions, ParsesJobs) {
+  const ParseResult r = parse({"--jobs", "4"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->jobs, 4);
+  // Default is serial.
+  EXPECT_EQ(parse({}).plan->jobs, 1);
+  // auto resolves to at least one worker.
+  const ParseResult a = parse({"--jobs", "auto"});
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(a.plan->jobs, 1);
+}
+
 TEST(CliOptions, ParsesPathsAndToggles) {
   const ParseResult r = parse({"--csv", "out.csv", "--trace", "log.csv",
                                "--waveform", "wave.csv", "--no-system-alarms"});
@@ -91,6 +103,10 @@ TEST(CliOptions, RejectsBadInput) {
   EXPECT_FALSE(parse({"--hours", "-1"}).ok());
   EXPECT_FALSE(parse({"--apps", "0"}).ok());
   EXPECT_FALSE(parse({"--reps", "0"}).ok());
+  EXPECT_FALSE(parse({"--jobs", "0"}).ok());
+  EXPECT_FALSE(parse({"--jobs", "-2"}).ok());
+  EXPECT_FALSE(parse({"--jobs", "many"}).ok());
+  EXPECT_FALSE(parse({"--jobs"}).ok());
   EXPECT_FALSE(parse({"--hw-levels", "5"}).ok());
   EXPECT_FALSE(parse({"--frobnicate"}).ok());
   // Errors carry a pointer to --help.

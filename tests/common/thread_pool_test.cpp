@@ -1,0 +1,105 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace simty {
+namespace {
+
+TEST(ThreadPool, ResultsKeepSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  // Later tasks finish first (earlier ones sleep longer); the futures must
+  // still hand results back in submission order.
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(16 - i));
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerExceptionDoesNotKillTheWorker) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto after = pool.submit([] { return 42; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(after.get(), 42);  // same (sole) worker survived the throw
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  ThreadPool pool(1);
+  // Block the sole worker, then pile work up behind it: shutdown() must run
+  // every queued task before joining, not drop the backlog.
+  auto gate = pool.submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] { ++done; });
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 8);
+  gate.get();
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 1; }), std::logic_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.worker_count(), 0u);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto fut = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(fut.get(), caller);
+}
+
+TEST(ThreadPool, PoolOfOneMatchesInlineExecution) {
+  // The same deterministic computation through one worker and through the
+  // inline (zero-worker) path must agree exactly.
+  auto work = [](int i) {
+    return [i] {
+      double acc = 0.0;
+      for (int k = 1; k <= 1000; ++k) acc += static_cast<double>(i) / k;
+      return acc;
+    };
+  };
+  ThreadPool inline_pool(0);
+  ThreadPool single(1);
+  std::vector<std::future<double>> a, b;
+  for (int i = 0; i < 8; ++i) {
+    a.push_back(inline_pool.submit(work(i)));
+    b.push_back(single.submit(work(i)));
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].get(), b[i].get());
+  }
+}
+
+}  // namespace
+}  // namespace simty

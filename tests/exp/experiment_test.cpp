@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace simty::exp {
 namespace {
 
@@ -138,6 +140,54 @@ TEST(Experiment, DozeConfigDefersAndViolates) {
   EXPECT_EQ(a.gap_violations, 0u);
   EXPECT_GT(b.gap_violations, 0u);  // doze breaks periodicity, measurably
   EXPECT_GT(b.worst_gap_ratio, 3.0);
+}
+
+TEST(Experiment, AverageResultsEmptyVectorThrows) {
+  EXPECT_THROW(average_results({}), std::logic_error);
+}
+
+TEST(Experiment, AverageResultsSingleRunIsIdentity) {
+  RunResult r;
+  r.policy_name = "SIMTY";
+  r.energy.sleep = Energy::joules(123);
+  r.average_power_mw = 4.5;
+  r.delay_imperceptible = 0.07;
+  r.deliveries = 17;
+  r.wakeups.push_back({"CPU", 100, 200});
+  r.worst_gap_ratio = 1.9;
+  r.gap_violations = 2;
+  r.perceptible_window_misses = 1;
+  const RunResult mean = average_results({r});
+  EXPECT_EQ(mean.policy_name, "SIMTY");
+  EXPECT_EQ(mean.runs, 1);
+  EXPECT_EQ(mean.energy.sleep.mj(), r.energy.sleep.mj());
+  EXPECT_EQ(mean.average_power_mw, r.average_power_mw);
+  EXPECT_EQ(mean.delay_imperceptible, r.delay_imperceptible);
+  EXPECT_EQ(mean.deliveries, r.deliveries);
+  ASSERT_EQ(mean.wakeups.size(), 1u);
+  EXPECT_EQ(mean.wakeups[0].actual, 100.0);
+  EXPECT_EQ(mean.wakeups[0].expected, 200.0);
+  EXPECT_EQ(mean.worst_gap_ratio, r.worst_gap_ratio);
+  EXPECT_EQ(mean.gap_violations, r.gap_violations);
+  EXPECT_EQ(mean.perceptible_window_misses, r.perceptible_window_misses);
+}
+
+TEST(Experiment, RepeatedStatsSingleRepetitionHasZeroSpread) {
+  ExperimentConfig c = quick(PolicyKind::kNative, WorkloadKind::kLight);
+  const RepeatedStats stats = run_repeated_stats(c, 1);
+  EXPECT_EQ(stats.mean.runs, 1);
+  EXPECT_EQ(stats.total_j.count(), 1u);
+  EXPECT_EQ(stats.cpu_wakeups.count(), 1u);
+  // One sample: the spread fields must be exactly zero, not NaN.
+  EXPECT_EQ(stats.total_j.variance(), 0.0);
+  EXPECT_EQ(stats.total_j.stddev(), 0.0);
+  EXPECT_EQ(stats.total_j.ci95_halfwidth(), 0.0);
+  EXPECT_EQ(stats.total_j.min(), stats.total_j.max());
+  EXPECT_EQ(stats.total_j.mean(), stats.total_j.min());
+  // The mean of one run is that run.
+  const RunResult single = run_experiment(c);
+  EXPECT_EQ(stats.mean.energy.total().mj(), single.energy.total().mj());
+  EXPECT_NEAR(stats.total_j.mean(), single.energy.total().joules_f(), 1e-12);
 }
 
 TEST(Experiment, PolicyAndWorkloadNames) {

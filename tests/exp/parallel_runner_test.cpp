@@ -1,0 +1,154 @@
+// Determinism conformance: the parallel runner must produce results that
+// are bit-identical to the serial path — every RunResult field, not just
+// the totals — for every policy, regardless of worker scheduling.
+
+#include "exp/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace simty::exp {
+namespace {
+
+// EXPECT_EQ on doubles is exact equality: the contract is byte-for-byte
+// identical results, not "close enough".
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.duration.seconds_f(), b.duration.seconds_f());
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.energy.sleep.mj(), b.energy.sleep.mj());
+  EXPECT_EQ(a.energy.waking.mj(), b.energy.waking.mj());
+  EXPECT_EQ(a.energy.awake_base.mj(), b.energy.awake_base.mj());
+  EXPECT_EQ(a.energy.wake_transitions.mj(), b.energy.wake_transitions.mj());
+  EXPECT_EQ(a.energy.component_active.mj(), b.energy.component_active.mj());
+  EXPECT_EQ(a.energy.component_activation.mj(), b.energy.component_activation.mj());
+  for (std::size_t i = 0; i < a.energy.per_component.size(); ++i) {
+    EXPECT_EQ(a.energy.per_component[i].mj(), b.energy.per_component[i].mj());
+  }
+  EXPECT_EQ(a.average_power_mw, b.average_power_mw);
+  EXPECT_EQ(a.projected_standby_hours, b.projected_standby_hours);
+  EXPECT_EQ(a.delay_perceptible, b.delay_perceptible);
+  EXPECT_EQ(a.delay_imperceptible, b.delay_imperceptible);
+  EXPECT_EQ(a.delay_imperceptible_p95, b.delay_imperceptible_p95);
+  ASSERT_EQ(a.wakeups.size(), b.wakeups.size());
+  for (std::size_t i = 0; i < a.wakeups.size(); ++i) {
+    EXPECT_EQ(a.wakeups[i].hardware, b.wakeups[i].hardware);
+    EXPECT_EQ(a.wakeups[i].actual, b.wakeups[i].actual);
+    EXPECT_EQ(a.wakeups[i].expected, b.wakeups[i].expected);
+  }
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.batches_delivered, b.batches_delivered);
+  EXPECT_EQ(a.one_shots, b.one_shots);
+  EXPECT_EQ(a.awake_seconds, b.awake_seconds);
+  EXPECT_EQ(a.asleep_seconds, b.asleep_seconds);
+  EXPECT_EQ(a.worst_gap_ratio, b.worst_gap_ratio);
+  EXPECT_EQ(a.gap_violations, b.gap_violations);
+  EXPECT_EQ(a.perceptible_window_misses, b.perceptible_window_misses);
+}
+
+ExperimentConfig quick(PolicyKind policy) {
+  ExperimentConfig c;
+  c.policy = policy;
+  c.workload = WorkloadKind::kLight;
+  c.duration = Duration::hours(1);
+  return c;
+}
+
+TEST(ParallelRunner, RunRepeatedMatchesSerialForEveryPolicy) {
+  for (const PolicyKind policy :
+       {PolicyKind::kNative, PolicyKind::kSimty, PolicyKind::kExact,
+        PolicyKind::kSimtyDuration}) {
+    SCOPED_TRACE(to_string(policy));
+    const ExperimentConfig c = quick(policy);
+    const RunResult serial = run_repeated(c, 4, /*jobs=*/1);
+    const RunResult parallel = run_repeated(c, 4, /*jobs=*/4);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelRunner, RunRepeatedStatsMatchesSerial) {
+  const ExperimentConfig c = quick(PolicyKind::kSimty);
+  const RepeatedStats serial = run_repeated_stats(c, 4, /*jobs=*/1);
+  const RepeatedStats parallel = run_repeated_stats(c, 4, /*jobs=*/4);
+  expect_identical(serial.mean, parallel.mean);
+  EXPECT_EQ(serial.total_j.mean(), parallel.total_j.mean());
+  EXPECT_EQ(serial.total_j.stddev(), parallel.total_j.stddev());
+  EXPECT_EQ(serial.awake_j.mean(), parallel.awake_j.mean());
+  EXPECT_EQ(serial.delay_imperceptible.mean(), parallel.delay_imperceptible.mean());
+  EXPECT_EQ(serial.cpu_wakeups.mean(), parallel.cpu_wakeups.mean());
+  EXPECT_EQ(serial.standby_hours.mean(), parallel.standby_hours.mean());
+}
+
+TEST(ParallelRunner, SweepMatchesSerialAcrossMixedConfigs) {
+  // A heterogeneous sweep: all four policies at two betas each, distinct
+  // seeds, as a sweep bench would build it.
+  std::vector<ExperimentConfig> configs;
+  for (const PolicyKind policy :
+       {PolicyKind::kNative, PolicyKind::kSimty, PolicyKind::kExact,
+        PolicyKind::kSimtyDuration}) {
+    for (const double beta : {0.80, 0.96}) {
+      ExperimentConfig c = quick(policy);
+      c.beta = beta;
+      c.seed = configs.size() + 1;
+      configs.push_back(c);
+    }
+  }
+  const std::vector<RunResult> serial = run_sweep(configs, 1);
+  const std::vector<RunResult> parallel = run_sweep(configs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunner, MoreJobsThanConfigsIsFine) {
+  const std::vector<ExperimentConfig> configs(2, quick(PolicyKind::kNative));
+  const std::vector<RunResult> r = run_sweep(configs, 16);
+  ASSERT_EQ(r.size(), 2u);
+  expect_identical(r[0], r[1]);  // same config twice → same result
+}
+
+TEST(ParallelRunner, ExternalHooksForceTheSerialPath) {
+  // A caller-owned observer is not thread-safe; run_repeated must fall back
+  // to serial execution (and thus not race) while producing the same mean.
+  std::atomic<int> seen{0};
+  ExperimentConfig c = quick(PolicyKind::kSimty);
+  c.extra_delivery_observer = [&seen](const alarm::DeliveryRecord&) { ++seen; };
+  const RunResult hooked = run_repeated(c, 2, /*jobs=*/4);
+  EXPECT_GT(seen.load(), 0);
+  ExperimentConfig plain = quick(PolicyKind::kSimty);
+  const RunResult serial = run_repeated(plain, 2, /*jobs=*/1);
+  EXPECT_EQ(hooked.deliveries, serial.deliveries);
+  EXPECT_EQ(hooked.energy.total().mj(), serial.energy.total().mj());
+}
+
+TEST(ParallelRunner, BadRepetitionCountThrows) {
+  EXPECT_THROW(run_repeated(quick(PolicyKind::kNative), 0, 4), std::logic_error);
+  EXPECT_THROW(run_repeated_stats(quick(PolicyKind::kNative), 0, 4),
+               std::logic_error);
+}
+
+TEST(ParallelRunner, DefaultJobsHonoursEnvOverride) {
+  ::setenv("SIMTY_JOBS", "3", 1);
+  EXPECT_EQ(ParallelRunner::default_jobs(), 3);
+  ::setenv("SIMTY_JOBS", "not-a-number", 1);
+  EXPECT_GE(ParallelRunner::default_jobs(), 1);
+  ::unsetenv("SIMTY_JOBS");
+  EXPECT_GE(ParallelRunner::default_jobs(), 1);
+}
+
+TEST(ParallelRunner, JobsClampToAtLeastOne) {
+  EXPECT_EQ(ParallelRunner(-5).jobs(), 1);
+  EXPECT_EQ(ParallelRunner(0).jobs(), 1);
+  EXPECT_EQ(ParallelRunner(8).jobs(), 8);
+}
+
+}  // namespace
+}  // namespace simty::exp

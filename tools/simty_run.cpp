@@ -39,15 +39,15 @@ int main(int argc, char** argv) {
       columns.push_back({exp::to_string(c.policy), exp::run_experiment(c)});
       waveform_monitor.finalize(TimePoint::origin() + c.duration);
     } else {
-      columns.push_back(
-          {exp::to_string(c.policy), exp::run_repeated(c, plan.repetitions)});
+      columns.push_back({exp::to_string(c.policy),
+                         exp::run_repeated(c, plan.repetitions, plan.jobs)});
     }
   }
 
-  std::printf("workload: %s, duration: %s, beta: %.2f, reps: %d\n\n",
+  std::printf("workload: %s, duration: %s, beta: %.2f, reps: %d, jobs: %d\n\n",
               exp::to_string(plan.config.workload),
               plan.config.duration.to_string().c_str(), plan.config.beta,
-              plan.repetitions);
+              plan.repetitions, plan.jobs);
   std::printf("%s\n", exp::render_energy_figure(columns).c_str());
   std::printf("%s\n", exp::render_delay_figure(columns).c_str());
   std::printf("%s\n", exp::render_wakeup_table(columns).c_str());
