@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beta_sweep.dir/bench_beta_sweep.cpp.o"
+  "CMakeFiles/bench_beta_sweep.dir/bench_beta_sweep.cpp.o.d"
+  "bench_beta_sweep"
+  "bench_beta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

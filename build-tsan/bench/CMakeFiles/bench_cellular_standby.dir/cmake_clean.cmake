@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cellular_standby.dir/bench_cellular_standby.cpp.o"
+  "CMakeFiles/bench_cellular_standby.dir/bench_cellular_standby.cpp.o.d"
+  "bench_cellular_standby"
+  "bench_cellular_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cellular_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_daily_context.dir/bench_daily_context.cpp.o"
+  "CMakeFiles/bench_daily_context.dir/bench_daily_context.cpp.o.d"
+  "bench_daily_context"
+  "bench_daily_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daily_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_daily_context.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_daily_context.
+# This may be replaced when dependencies are built.

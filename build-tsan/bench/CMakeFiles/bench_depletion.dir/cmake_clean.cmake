@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depletion.dir/bench_depletion.cpp.o"
+  "CMakeFiles/bench_depletion.dir/bench_depletion.cpp.o.d"
+  "bench_depletion"
+  "bench_depletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doze.dir/bench_doze.cpp.o"
+  "CMakeFiles/bench_doze.dir/bench_doze.cpp.o.d"
+  "bench_doze"
+  "bench_doze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

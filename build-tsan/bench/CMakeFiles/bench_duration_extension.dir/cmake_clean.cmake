@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duration_extension.dir/bench_duration_extension.cpp.o"
+  "CMakeFiles/bench_duration_extension.dir/bench_duration_extension.cpp.o.d"
+  "bench_duration_extension"
+  "bench_duration_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duration_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

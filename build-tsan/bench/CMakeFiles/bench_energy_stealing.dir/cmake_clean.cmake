@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_stealing.dir/bench_energy_stealing.cpp.o"
+  "CMakeFiles/bench_energy_stealing.dir/bench_energy_stealing.cpp.o.d"
+  "bench_energy_stealing"
+  "bench_energy_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

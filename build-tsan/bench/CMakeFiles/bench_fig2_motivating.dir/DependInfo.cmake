@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_motivating.cpp" "bench/CMakeFiles/bench_fig2_motivating.dir/bench_fig2_motivating.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_motivating.dir/bench_fig2_motivating.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/exp/CMakeFiles/simty_exp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/simty_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/simty_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/simty_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/simty_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

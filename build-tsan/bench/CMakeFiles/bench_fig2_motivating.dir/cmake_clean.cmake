@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_motivating.dir/bench_fig2_motivating.cpp.o"
+  "CMakeFiles/bench_fig2_motivating.dir/bench_fig2_motivating.cpp.o.d"
+  "bench_fig2_motivating"
+  "bench_fig2_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_energy.dir/bench_fig3_energy.cpp.o"
+  "CMakeFiles/bench_fig3_energy.dir/bench_fig3_energy.cpp.o.d"
+  "bench_fig3_energy"
+  "bench_fig3_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

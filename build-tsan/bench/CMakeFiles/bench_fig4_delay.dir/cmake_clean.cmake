@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_delay.dir/bench_fig4_delay.cpp.o"
+  "CMakeFiles/bench_fig4_delay.dir/bench_fig4_delay.cpp.o.d"
+  "bench_fig4_delay"
+  "bench_fig4_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

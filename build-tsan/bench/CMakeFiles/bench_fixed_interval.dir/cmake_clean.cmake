@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixed_interval.dir/bench_fixed_interval.cpp.o"
+  "CMakeFiles/bench_fixed_interval.dir/bench_fixed_interval.cpp.o.d"
+  "bench_fixed_interval"
+  "bench_fixed_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixed_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

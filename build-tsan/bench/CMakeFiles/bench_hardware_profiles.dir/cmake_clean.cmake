@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hardware_profiles.dir/bench_hardware_profiles.cpp.o"
+  "CMakeFiles/bench_hardware_profiles.dir/bench_hardware_profiles.cpp.o.d"
+  "bench_hardware_profiles"
+  "bench_hardware_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardware_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

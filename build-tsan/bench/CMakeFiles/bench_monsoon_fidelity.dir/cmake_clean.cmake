@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monsoon_fidelity.dir/bench_monsoon_fidelity.cpp.o"
+  "CMakeFiles/bench_monsoon_fidelity.dir/bench_monsoon_fidelity.cpp.o.d"
+  "bench_monsoon_fidelity"
+  "bench_monsoon_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monsoon_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_monsoon_fidelity.
+# This may be replaced when dependencies are built.

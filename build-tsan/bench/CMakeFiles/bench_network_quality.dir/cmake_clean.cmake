@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_quality.dir/bench_network_quality.cpp.o"
+  "CMakeFiles/bench_network_quality.dir/bench_network_quality.cpp.o.d"
+  "bench_network_quality"
+  "bench_network_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pareto.dir/bench_pareto.cpp.o"
+  "CMakeFiles/bench_pareto.dir/bench_pareto.cpp.o.d"
+  "bench_pareto"
+  "bench_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_micro.dir/bench_policy_micro.cpp.o"
+  "CMakeFiles/bench_policy_micro.dir/bench_policy_micro.cpp.o.d"
+  "bench_policy_micro"
+  "bench_policy_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_push_interplay.dir/bench_push_interplay.cpp.o"
+  "CMakeFiles/bench_push_interplay.dir/bench_push_interplay.cpp.o.d"
+  "bench_push_interplay"
+  "bench_push_interplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_push_interplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

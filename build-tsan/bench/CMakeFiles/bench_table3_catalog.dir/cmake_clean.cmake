@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_catalog.dir/bench_table3_catalog.cpp.o"
+  "CMakeFiles/bench_table3_catalog.dir/bench_table3_catalog.cpp.o.d"
+  "bench_table3_catalog"
+  "bench_table3_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_wakeups.dir/bench_table4_wakeups.cpp.o"
+  "CMakeFiles/bench_table4_wakeups.dir/bench_table4_wakeups.cpp.o.d"
+  "bench_table4_wakeups"
+  "bench_table4_wakeups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_wakeups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tail_dormancy.dir/bench_tail_dormancy.cpp.o"
+  "CMakeFiles/bench_tail_dormancy.dir/bench_tail_dormancy.cpp.o.d"
+  "bench_tail_dormancy"
+  "bench_tail_dormancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tail_dormancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

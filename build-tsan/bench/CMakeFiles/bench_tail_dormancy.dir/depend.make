@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tail_dormancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_standby.dir/adaptive_standby.cpp.o"
+  "CMakeFiles/adaptive_standby.dir/adaptive_standby.cpp.o.d"
+  "adaptive_standby"
+  "adaptive_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

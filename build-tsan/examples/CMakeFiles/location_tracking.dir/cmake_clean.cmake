@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_tracking.dir/location_tracking.cpp.o"
+  "CMakeFiles/location_tracking.dir/location_tracking.cpp.o.d"
+  "location_tracking"
+  "location_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messaging_standby.dir/messaging_standby.cpp.o"
+  "CMakeFiles/messaging_standby.dir/messaging_standby.cpp.o.d"
+  "messaging_standby"
+  "messaging_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messaging_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosleep_bug_demo.dir/nosleep_bug_demo.cpp.o"
+  "CMakeFiles/nosleep_bug_demo.dir/nosleep_bug_demo.cpp.o.d"
+  "nosleep_bug_demo"
+  "nosleep_bug_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosleep_bug_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

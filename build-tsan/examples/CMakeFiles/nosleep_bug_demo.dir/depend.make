@@ -1,0 +1,2 @@
+# Empty dependencies file for nosleep_bug_demo.
+# This may be replaced when dependencies are built.

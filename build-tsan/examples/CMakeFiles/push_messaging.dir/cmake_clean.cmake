@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_messaging.dir/push_messaging.cpp.o"
+  "CMakeFiles/push_messaging.dir/push_messaging.cpp.o.d"
+  "push_messaging"
+  "push_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for push_messaging.
+# This may be replaced when dependencies are built.

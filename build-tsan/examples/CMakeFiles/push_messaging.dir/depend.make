@@ -1,0 +1,2 @@
+# Empty dependencies file for push_messaging.
+# This may be replaced when dependencies are built.

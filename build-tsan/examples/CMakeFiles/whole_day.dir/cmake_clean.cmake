@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_day.dir/whole_day.cpp.o"
+  "CMakeFiles/whole_day.dir/whole_day.cpp.o.d"
+  "whole_day"
+  "whole_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

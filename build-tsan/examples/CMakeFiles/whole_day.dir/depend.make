@@ -1,0 +1,2 @@
+# Empty dependencies file for whole_day.
+# This may be replaced when dependencies are built.

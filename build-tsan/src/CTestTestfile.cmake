@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("hw")
+subdirs("net")
+subdirs("alarm")
+subdirs("gcm")
+subdirs("power")
+subdirs("apps")
+subdirs("trace")
+subdirs("metrics")
+subdirs("exp")
+subdirs("cli")
+subdirs("usage")

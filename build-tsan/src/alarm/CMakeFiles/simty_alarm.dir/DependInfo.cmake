@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alarm/alarm.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/alarm.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/alarm.cpp.o.d"
+  "/root/repo/src/alarm/alarm_manager.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/alarm_manager.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/alarm_manager.cpp.o.d"
+  "/root/repo/src/alarm/batch.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/batch.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/batch.cpp.o.d"
+  "/root/repo/src/alarm/doze.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/doze.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/doze.cpp.o.d"
+  "/root/repo/src/alarm/duration_policy.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/duration_policy.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/duration_policy.cpp.o.d"
+  "/root/repo/src/alarm/fixed_interval_policy.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/fixed_interval_policy.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/fixed_interval_policy.cpp.o.d"
+  "/root/repo/src/alarm/native_policy.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/native_policy.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/native_policy.cpp.o.d"
+  "/root/repo/src/alarm/similarity.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/similarity.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/similarity.cpp.o.d"
+  "/root/repo/src/alarm/simty_policy.cpp" "src/alarm/CMakeFiles/simty_alarm.dir/simty_policy.cpp.o" "gcc" "src/alarm/CMakeFiles/simty_alarm.dir/simty_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

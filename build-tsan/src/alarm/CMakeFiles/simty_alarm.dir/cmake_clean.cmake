@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_alarm.dir/alarm.cpp.o"
+  "CMakeFiles/simty_alarm.dir/alarm.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/alarm_manager.cpp.o"
+  "CMakeFiles/simty_alarm.dir/alarm_manager.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/batch.cpp.o"
+  "CMakeFiles/simty_alarm.dir/batch.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/doze.cpp.o"
+  "CMakeFiles/simty_alarm.dir/doze.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/duration_policy.cpp.o"
+  "CMakeFiles/simty_alarm.dir/duration_policy.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/fixed_interval_policy.cpp.o"
+  "CMakeFiles/simty_alarm.dir/fixed_interval_policy.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/native_policy.cpp.o"
+  "CMakeFiles/simty_alarm.dir/native_policy.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/similarity.cpp.o"
+  "CMakeFiles/simty_alarm.dir/similarity.cpp.o.d"
+  "CMakeFiles/simty_alarm.dir/simty_policy.cpp.o"
+  "CMakeFiles/simty_alarm.dir/simty_policy.cpp.o.d"
+  "libsimty_alarm.a"
+  "libsimty_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

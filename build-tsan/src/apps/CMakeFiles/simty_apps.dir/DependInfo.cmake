@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/simty_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/simty_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/app_catalog.cpp" "src/apps/CMakeFiles/simty_apps.dir/app_catalog.cpp.o" "gcc" "src/apps/CMakeFiles/simty_apps.dir/app_catalog.cpp.o.d"
+  "/root/repo/src/apps/external_events.cpp" "src/apps/CMakeFiles/simty_apps.dir/external_events.cpp.o" "gcc" "src/apps/CMakeFiles/simty_apps.dir/external_events.cpp.o.d"
+  "/root/repo/src/apps/system_alarms.cpp" "src/apps/CMakeFiles/simty_apps.dir/system_alarms.cpp.o" "gcc" "src/apps/CMakeFiles/simty_apps.dir/system_alarms.cpp.o.d"
+  "/root/repo/src/apps/trace_replay.cpp" "src/apps/CMakeFiles/simty_apps.dir/trace_replay.cpp.o" "gcc" "src/apps/CMakeFiles/simty_apps.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/simty_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/simty_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/simty_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

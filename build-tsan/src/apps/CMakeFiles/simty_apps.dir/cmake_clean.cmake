@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_apps.dir/app.cpp.o"
+  "CMakeFiles/simty_apps.dir/app.cpp.o.d"
+  "CMakeFiles/simty_apps.dir/app_catalog.cpp.o"
+  "CMakeFiles/simty_apps.dir/app_catalog.cpp.o.d"
+  "CMakeFiles/simty_apps.dir/external_events.cpp.o"
+  "CMakeFiles/simty_apps.dir/external_events.cpp.o.d"
+  "CMakeFiles/simty_apps.dir/system_alarms.cpp.o"
+  "CMakeFiles/simty_apps.dir/system_alarms.cpp.o.d"
+  "CMakeFiles/simty_apps.dir/trace_replay.cpp.o"
+  "CMakeFiles/simty_apps.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/simty_apps.dir/workload.cpp.o"
+  "CMakeFiles/simty_apps.dir/workload.cpp.o.d"
+  "libsimty_apps.a"
+  "libsimty_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

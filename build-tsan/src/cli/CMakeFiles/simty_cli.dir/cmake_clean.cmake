@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_cli.dir/options.cpp.o"
+  "CMakeFiles/simty_cli.dir/options.cpp.o.d"
+  "libsimty_cli.a"
+  "libsimty_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/interval.cpp" "src/common/CMakeFiles/simty_common.dir/interval.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/interval.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/simty_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/simty_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/simty_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/simty_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/simty_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/simty_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/common/CMakeFiles/simty_common.dir/time.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/time.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/common/CMakeFiles/simty_common.dir/units.cpp.o" "gcc" "src/common/CMakeFiles/simty_common.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_common.dir/interval.cpp.o"
+  "CMakeFiles/simty_common.dir/interval.cpp.o.d"
+  "CMakeFiles/simty_common.dir/logging.cpp.o"
+  "CMakeFiles/simty_common.dir/logging.cpp.o.d"
+  "CMakeFiles/simty_common.dir/rng.cpp.o"
+  "CMakeFiles/simty_common.dir/rng.cpp.o.d"
+  "CMakeFiles/simty_common.dir/stats.cpp.o"
+  "CMakeFiles/simty_common.dir/stats.cpp.o.d"
+  "CMakeFiles/simty_common.dir/strings.cpp.o"
+  "CMakeFiles/simty_common.dir/strings.cpp.o.d"
+  "CMakeFiles/simty_common.dir/table.cpp.o"
+  "CMakeFiles/simty_common.dir/table.cpp.o.d"
+  "CMakeFiles/simty_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/simty_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/simty_common.dir/time.cpp.o"
+  "CMakeFiles/simty_common.dir/time.cpp.o.d"
+  "CMakeFiles/simty_common.dir/units.cpp.o"
+  "CMakeFiles/simty_common.dir/units.cpp.o.d"
+  "libsimty_common.a"
+  "libsimty_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

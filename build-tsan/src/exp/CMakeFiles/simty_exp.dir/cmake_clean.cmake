@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_exp.dir/adaptive.cpp.o"
+  "CMakeFiles/simty_exp.dir/adaptive.cpp.o.d"
+  "CMakeFiles/simty_exp.dir/experiment.cpp.o"
+  "CMakeFiles/simty_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/simty_exp.dir/parallel_runner.cpp.o"
+  "CMakeFiles/simty_exp.dir/parallel_runner.cpp.o.d"
+  "CMakeFiles/simty_exp.dir/reporting.cpp.o"
+  "CMakeFiles/simty_exp.dir/reporting.cpp.o.d"
+  "libsimty_exp.a"
+  "libsimty_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

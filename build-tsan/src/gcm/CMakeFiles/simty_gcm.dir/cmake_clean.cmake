@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_gcm.dir/gcm_service.cpp.o"
+  "CMakeFiles/simty_gcm.dir/gcm_service.cpp.o.d"
+  "libsimty_gcm.a"
+  "libsimty_gcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simty_gcm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/battery.cpp" "src/hw/CMakeFiles/simty_hw.dir/battery.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/battery.cpp.o.d"
+  "/root/repo/src/hw/component.cpp" "src/hw/CMakeFiles/simty_hw.dir/component.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/component.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/simty_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/device_spec.cpp" "src/hw/CMakeFiles/simty_hw.dir/device_spec.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/device_spec.cpp.o.d"
+  "/root/repo/src/hw/guardian.cpp" "src/hw/CMakeFiles/simty_hw.dir/guardian.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/guardian.cpp.o.d"
+  "/root/repo/src/hw/power_bus.cpp" "src/hw/CMakeFiles/simty_hw.dir/power_bus.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/power_bus.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/simty_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/rtc.cpp" "src/hw/CMakeFiles/simty_hw.dir/rtc.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/rtc.cpp.o.d"
+  "/root/repo/src/hw/wakelock.cpp" "src/hw/CMakeFiles/simty_hw.dir/wakelock.cpp.o" "gcc" "src/hw/CMakeFiles/simty_hw.dir/wakelock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_hw.dir/battery.cpp.o"
+  "CMakeFiles/simty_hw.dir/battery.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/component.cpp.o"
+  "CMakeFiles/simty_hw.dir/component.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/device.cpp.o"
+  "CMakeFiles/simty_hw.dir/device.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/device_spec.cpp.o"
+  "CMakeFiles/simty_hw.dir/device_spec.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/guardian.cpp.o"
+  "CMakeFiles/simty_hw.dir/guardian.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/power_bus.cpp.o"
+  "CMakeFiles/simty_hw.dir/power_bus.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/power_model.cpp.o"
+  "CMakeFiles/simty_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/rtc.cpp.o"
+  "CMakeFiles/simty_hw.dir/rtc.cpp.o.d"
+  "CMakeFiles/simty_hw.dir/wakelock.cpp.o"
+  "CMakeFiles/simty_hw.dir/wakelock.cpp.o.d"
+  "libsimty_hw.a"
+  "libsimty_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

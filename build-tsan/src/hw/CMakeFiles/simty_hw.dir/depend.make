@@ -1,0 +1,2 @@
+# Empty dependencies file for simty_hw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/delay_stats.cpp" "src/metrics/CMakeFiles/simty_metrics.dir/delay_stats.cpp.o" "gcc" "src/metrics/CMakeFiles/simty_metrics.dir/delay_stats.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/simty_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/simty_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/interval_audit.cpp" "src/metrics/CMakeFiles/simty_metrics.dir/interval_audit.cpp.o" "gcc" "src/metrics/CMakeFiles/simty_metrics.dir/interval_audit.cpp.o.d"
+  "/root/repo/src/metrics/wakeup_breakdown.cpp" "src/metrics/CMakeFiles/simty_metrics.dir/wakeup_breakdown.cpp.o" "gcc" "src/metrics/CMakeFiles/simty_metrics.dir/wakeup_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_metrics.dir/delay_stats.cpp.o"
+  "CMakeFiles/simty_metrics.dir/delay_stats.cpp.o.d"
+  "CMakeFiles/simty_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/simty_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/simty_metrics.dir/interval_audit.cpp.o"
+  "CMakeFiles/simty_metrics.dir/interval_audit.cpp.o.d"
+  "CMakeFiles/simty_metrics.dir/wakeup_breakdown.cpp.o"
+  "CMakeFiles/simty_metrics.dir/wakeup_breakdown.cpp.o.d"
+  "libsimty_metrics.a"
+  "libsimty_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

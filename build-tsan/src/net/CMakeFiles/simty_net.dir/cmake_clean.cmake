@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_net.dir/rrc.cpp.o"
+  "CMakeFiles/simty_net.dir/rrc.cpp.o.d"
+  "CMakeFiles/simty_net.dir/wifi_link.cpp.o"
+  "CMakeFiles/simty_net.dir/wifi_link.cpp.o.d"
+  "libsimty_net.a"
+  "libsimty_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/app_attribution.cpp" "src/power/CMakeFiles/simty_power.dir/app_attribution.cpp.o" "gcc" "src/power/CMakeFiles/simty_power.dir/app_attribution.cpp.o.d"
+  "/root/repo/src/power/energy_accounting.cpp" "src/power/CMakeFiles/simty_power.dir/energy_accounting.cpp.o" "gcc" "src/power/CMakeFiles/simty_power.dir/energy_accounting.cpp.o.d"
+  "/root/repo/src/power/monitor.cpp" "src/power/CMakeFiles/simty_power.dir/monitor.cpp.o" "gcc" "src/power/CMakeFiles/simty_power.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

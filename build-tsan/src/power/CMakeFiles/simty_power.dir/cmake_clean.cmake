@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_power.dir/app_attribution.cpp.o"
+  "CMakeFiles/simty_power.dir/app_attribution.cpp.o.d"
+  "CMakeFiles/simty_power.dir/energy_accounting.cpp.o"
+  "CMakeFiles/simty_power.dir/energy_accounting.cpp.o.d"
+  "CMakeFiles/simty_power.dir/monitor.cpp.o"
+  "CMakeFiles/simty_power.dir/monitor.cpp.o.d"
+  "libsimty_power.a"
+  "libsimty_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/simty_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/simty_sim.dir/simulator.cpp.o"
+  "CMakeFiles/simty_sim.dir/simulator.cpp.o.d"
+  "libsimty_sim.a"
+  "libsimty_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

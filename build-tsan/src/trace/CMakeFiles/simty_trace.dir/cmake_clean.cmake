@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_trace.dir/delivery_log.cpp.o"
+  "CMakeFiles/simty_trace.dir/delivery_log.cpp.o.d"
+  "libsimty_trace.a"
+  "libsimty_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

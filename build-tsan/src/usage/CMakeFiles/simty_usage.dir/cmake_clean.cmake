@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_usage.dir/day_model.cpp.o"
+  "CMakeFiles/simty_usage.dir/day_model.cpp.o.d"
+  "CMakeFiles/simty_usage.dir/interactive.cpp.o"
+  "CMakeFiles/simty_usage.dir/interactive.cpp.o.d"
+  "libsimty_usage.a"
+  "libsimty_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

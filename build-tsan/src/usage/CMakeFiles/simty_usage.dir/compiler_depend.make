@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simty_usage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alarm/alarm_manager_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/alarm_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/alarm_manager_test.cpp.o.d"
+  "/root/repo/tests/alarm/alarm_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/alarm_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/alarm_test.cpp.o.d"
+  "/root/repo/tests/alarm/batch_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/batch_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/batch_test.cpp.o.d"
+  "/root/repo/tests/alarm/conformance_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/conformance_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/conformance_test.cpp.o.d"
+  "/root/repo/tests/alarm/doze_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/doze_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/doze_test.cpp.o.d"
+  "/root/repo/tests/alarm/dump_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/dump_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/dump_test.cpp.o.d"
+  "/root/repo/tests/alarm/failure_injection_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/alarm/fixed_interval_policy_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/fixed_interval_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/fixed_interval_policy_test.cpp.o.d"
+  "/root/repo/tests/alarm/policy_swap_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/policy_swap_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/policy_swap_test.cpp.o.d"
+  "/root/repo/tests/alarm/policy_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/policy_test.cpp.o.d"
+  "/root/repo/tests/alarm/similarity_properties_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/similarity_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/similarity_properties_test.cpp.o.d"
+  "/root/repo/tests/alarm/similarity_test.cpp" "tests/CMakeFiles/test_alarm.dir/alarm/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/test_alarm.dir/alarm/similarity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/simty_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

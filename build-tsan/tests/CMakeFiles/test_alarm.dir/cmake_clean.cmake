@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alarm.dir/alarm/alarm_manager_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/alarm_manager_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/alarm_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/alarm_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/batch_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/batch_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/conformance_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/conformance_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/doze_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/doze_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/dump_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/dump_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/failure_injection_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/fixed_interval_policy_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/fixed_interval_policy_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/policy_swap_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/policy_swap_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/policy_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/policy_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/similarity_properties_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/similarity_properties_test.cpp.o.d"
+  "CMakeFiles/test_alarm.dir/alarm/similarity_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm/similarity_test.cpp.o.d"
+  "test_alarm"
+  "test_alarm.pdb"
+  "test_alarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/app_catalog_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/app_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/app_catalog_test.cpp.o.d"
+  "/root/repo/tests/apps/app_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/app_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/app_test.cpp.o.d"
+  "/root/repo/tests/apps/external_events_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/external_events_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/external_events_test.cpp.o.d"
+  "/root/repo/tests/apps/retry_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/retry_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/retry_test.cpp.o.d"
+  "/root/repo/tests/apps/system_alarms_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/system_alarms_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/system_alarms_test.cpp.o.d"
+  "/root/repo/tests/apps/trace_replay_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/trace_replay_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/trace_replay_test.cpp.o.d"
+  "/root/repo/tests/apps/workload_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/apps/CMakeFiles/simty_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/simty_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

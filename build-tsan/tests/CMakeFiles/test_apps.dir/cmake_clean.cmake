@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/app_catalog_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/app_catalog_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/app_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/app_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/external_events_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/external_events_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/retry_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/retry_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/system_alarms_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/system_alarms_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/trace_replay_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/trace_replay_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/workload_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/workload_test.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

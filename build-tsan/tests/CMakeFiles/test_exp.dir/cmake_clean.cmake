@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/exp/adaptive_test.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/experiment_test.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/experiment_test.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/parallel_runner_test.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/parallel_runner_test.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/render_golden_test.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/render_golden_test.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/reporting_test.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/reporting_test.cpp.o.d"
+  "test_exp"
+  "test_exp.pdb"
+  "test_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

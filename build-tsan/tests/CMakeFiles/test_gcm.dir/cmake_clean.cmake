@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcm.dir/gcm/gcm_service_test.cpp.o"
+  "CMakeFiles/test_gcm.dir/gcm/gcm_service_test.cpp.o.d"
+  "test_gcm"
+  "test_gcm.pdb"
+  "test_gcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/battery_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/battery_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/component_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/component_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/device_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/device_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/guardian_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/guardian_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/power_model_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/power_model_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/rtc_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/rtc_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/wakelock_tail_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/wakelock_tail_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/wakelock_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/wakelock_test.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/delay_stats_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/delay_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/delay_stats_test.cpp.o.d"
+  "/root/repo/tests/metrics/histogram_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/histogram_test.cpp.o.d"
+  "/root/repo/tests/metrics/interval_audit_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/interval_audit_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/interval_audit_test.cpp.o.d"
+  "/root/repo/tests/metrics/wakeup_breakdown_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/wakeup_breakdown_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/wakeup_breakdown_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/simty_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alarm/CMakeFiles/simty_alarm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

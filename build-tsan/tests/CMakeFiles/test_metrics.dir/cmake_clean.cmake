@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/delay_stats_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/delay_stats_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/histogram_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/histogram_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/interval_audit_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/interval_audit_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/wakeup_breakdown_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/wakeup_breakdown_test.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

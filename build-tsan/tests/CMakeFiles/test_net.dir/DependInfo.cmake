@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/rrc_test.cpp" "tests/CMakeFiles/test_net.dir/net/rrc_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/rrc_test.cpp.o.d"
+  "/root/repo/tests/net/wifi_link_test.cpp" "tests/CMakeFiles/test_net.dir/net/wifi_link_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/wifi_link_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/simty_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/simty_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/simty_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/simty_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/rrc_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/rrc_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/wifi_link_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/wifi_link_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

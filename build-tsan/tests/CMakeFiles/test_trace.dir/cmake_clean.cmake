@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/csv_fuzz_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/csv_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/delivery_log_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/delivery_log_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usage.dir/usage/day_model_test.cpp.o"
+  "CMakeFiles/test_usage.dir/usage/day_model_test.cpp.o.d"
+  "CMakeFiles/test_usage.dir/usage/interactive_test.cpp.o"
+  "CMakeFiles/test_usage.dir/usage/interactive_test.cpp.o.d"
+  "test_usage"
+  "test_usage.pdb"
+  "test_usage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_hw[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_alarm[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_power[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_exp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_gcm[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cli[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_usage[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_umbrella[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simty_run.dir/simty_run.cpp.o"
+  "CMakeFiles/simty_run.dir/simty_run.cpp.o.d"
+  "simty_run"
+  "simty_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simty_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
