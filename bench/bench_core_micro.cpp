@@ -1,0 +1,267 @@
+// Microbenchmark of the discrete-event core hot path.
+//
+// Measures the slab-backed 4-ary heap EventQueue against a reference
+// implementation of the previous std::map event queue (node allocation per
+// event, std::function callback, std::string label) on schedule/pop and
+// schedule/cancel churn at one million events, plus AlarmManager
+// insert/rebatch churn. Prints the measured speedups; `--json <path>`
+// additionally writes BENCH_core.json-style records (see bench_json.hpp)
+// so CI accumulates a perf trajectory.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "alarm/native_policy.hpp"
+#include "alarm/simty_policy.hpp"
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hw/power_bus.hpp"
+#include "hw/power_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace simty {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// The event queue this PR replaced, kept verbatim as the comparison
+// baseline: one map node allocation per event, type-erased heap-allocating
+// callback, owned label string, and a second map for cancellation.
+class MapQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule(TimePoint when, int priority, Callback cb,
+                         std::string label = "") {
+    const Key key{when.us(), priority, next_seq_++};
+    events_.emplace(key, Entry{std::move(cb), std::move(label), key.seq});
+    index_.emplace(key.seq, key);
+    return key.seq;
+  }
+
+  bool cancel(std::uint64_t id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    events_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  bool empty() const { return events_.empty(); }
+
+  struct Fired {
+    TimePoint when;
+    Callback callback;
+    std::string label;
+  };
+  Fired pop() {
+    auto it = events_.begin();
+    Fired fired{TimePoint::from_us(it->first.when_us), std::move(it->second.callback),
+                std::move(it->second.label)};
+    index_.erase(it->second.id);
+    events_.erase(it);
+    return fired;
+  }
+
+ private:
+  struct Key {
+    std::int64_t when_us;
+    int priority;
+    std::uint64_t seq;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    Callback callback;
+    std::string label;
+    std::uint64_t id;
+  };
+  std::map<Key, Entry> events_;
+  std::map<std::uint64_t, Key> index_;
+  std::uint64_t next_seq_ = 1;
+};
+
+constexpr std::size_t kChurnEvents = 1'000'000;
+constexpr std::size_t kWindow = 4'096;  // pending events kept in flight
+
+// Steady-state schedule/pop churn: keep kWindow events pending, pop the
+// earliest and schedule a replacement, kChurnEvents times. `sink`
+// accumulates into a volatile so the callbacks cannot be optimized out.
+template <typename Schedule, typename Pop>
+double churn_schedule_pop(Schedule schedule, Pop pop) {
+  Rng rng(1234);
+  volatile std::uint64_t sink = 0;
+  std::int64_t now_us = 0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    schedule(TimePoint::from_us(now_us + rng.next_below(60'000'000)),
+             static_cast<int>(rng.next_below(4)), [&sink] { sink = sink + 1; });
+  }
+  for (std::size_t i = 0; i < kChurnEvents; ++i) {
+    auto fired = pop();
+    fired.callback();
+    now_us = fired.when.us();
+    schedule(TimePoint::from_us(now_us + 1 + rng.next_below(60'000'000)),
+             static_cast<int>(rng.next_below(4)), [&sink] { sink = sink + 1; });
+  }
+  return ms_since(start);
+}
+
+// Schedule/cancel churn: schedule two events per round, cancel one of the
+// two, pop one — the tombstone path (heap) vs. map erase.
+template <typename Schedule, typename Cancel, typename Pop>
+double churn_schedule_cancel(Schedule schedule, Cancel cancel, Pop pop) {
+  Rng rng(99);
+  volatile std::uint64_t sink = 0;
+  std::int64_t now_us = 0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < kChurnEvents / 2; ++i) {
+    const auto keep = schedule(TimePoint::from_us(now_us + 1 + rng.next_below(1'000'000)),
+                               1, [&sink] { sink = sink + 1; });
+    const auto victim = schedule(
+        TimePoint::from_us(now_us + 1 + rng.next_below(1'000'000)), 1,
+        [&sink] { sink = sink + 1; });
+    // Cancel one of the pair (alternating which) and pop the earliest.
+    cancel(i % 2 == 0 ? victim : keep);
+    auto fired = pop();
+    fired.callback();
+    now_us = fired.when.us();
+  }
+  return ms_since(start);
+}
+
+struct AlarmChurnResult {
+  double wall_ms = 0.0;
+  std::uint64_t inserts = 0;
+};
+
+// AlarmManager queue maintenance churn: register a standby-day's worth of
+// repeating alarms, then rebatch the whole queue repeatedly (the policy
+// swap / realignment path). Every registration and every rebatched alarm
+// exercises one incremental insert.
+AlarmChurnResult churn_alarm_queue(std::unique_ptr<alarm::AlignmentPolicy> policy) {
+  constexpr int kAlarms = 600;
+  constexpr int kRebatches = 20;
+
+  sim::Simulator sim;
+  hw::PowerModel model = hw::PowerModel::nexus5();
+  hw::PowerBus bus;
+  hw::Device device(sim, model, bus);
+  hw::Rtc rtc(sim, device);
+  hw::WakelockManager wakelocks(sim, model, bus);
+  alarm::AlarmManager manager(sim, device, rtc, wakelocks, std::move(policy));
+
+  Rng rng(7);
+  const auto start = Clock::now();
+  for (int i = 0; i < kAlarms; ++i) {
+    const Duration repeat = Duration::seconds(60 * (1 + static_cast<int>(rng.next_below(60))));
+    alarm::AlarmSpec spec = alarm::AlarmSpec::repeating(
+        "bench.alarm." + std::to_string(i), alarm::AppId{static_cast<std::uint32_t>(i % 32)},
+        alarm::RepeatMode::kStatic, repeat, 0.1, 0.5);
+    manager.register_alarm(spec,
+                           TimePoint::origin() + Duration::seconds(rng.next_below(3600)),
+                           [](const alarm::Alarm&, TimePoint) { return alarm::TaskSpec{}; });
+  }
+  for (int r = 0; r < kRebatches; ++r) manager.rebatch_all();
+  AlarmChurnResult out;
+  out.wall_ms = ms_since(start);
+  out.inserts = static_cast<std::uint64_t>(kAlarms) * (1 + kRebatches);
+  return out;
+}
+
+}  // namespace
+}  // namespace simty
+
+int main(int argc, char** argv) {
+  using namespace simty;
+
+  const auto json_path = bench::json_path_from_args(argc, argv);
+  std::vector<bench::BenchRecord> records;
+  TextTable t;
+  t.set_header({"workload", "impl", "wall (ms)", "events/sec"});
+
+  const auto record = [&](const std::string& workload, const std::string& impl,
+                          double wall_ms, double events) {
+    const double eps = events / (wall_ms / 1e3);
+    t.add_row({workload, impl, str_format("%.1f", wall_ms), str_format("%.0f", eps)});
+    records.push_back({workload + "/" + impl, wall_ms, eps});
+    return eps;
+  };
+
+  // -- schedule/pop churn ----------------------------------------------------
+  double heap_ms, map_ms;
+  {
+    sim::EventQueue q;
+    heap_ms = churn_schedule_pop(
+        [&](TimePoint when, int pri, auto cb) {
+          q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "churn");
+        },
+        [&] { return q.pop(); });
+  }
+  {
+    MapQueue q;
+    map_ms = churn_schedule_pop(
+        [&](TimePoint when, int pri, auto cb) {
+          q.schedule(when, pri, std::move(cb), "churn");
+        },
+        [&] { return q.pop(); });
+  }
+  const double pop_heap = record("schedule-pop", "heap", heap_ms,
+                                 static_cast<double>(kChurnEvents));
+  const double pop_map = record("schedule-pop", "map", map_ms,
+                                static_cast<double>(kChurnEvents));
+
+  // -- schedule/cancel churn -------------------------------------------------
+  {
+    sim::EventQueue q;
+    heap_ms = churn_schedule_cancel(
+        [&](TimePoint when, int pri, auto cb) {
+          return q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb),
+                            "churn");
+        },
+        [&](sim::EventId id) { return q.cancel(id); }, [&] { return q.pop(); });
+  }
+  {
+    MapQueue q;
+    map_ms = churn_schedule_cancel(
+        [&](TimePoint when, int pri, auto cb) {
+          return q.schedule(when, pri, std::move(cb), "churn");
+        },
+        [&](std::uint64_t id) { return q.cancel(id); }, [&] { return q.pop(); });
+  }
+  record("schedule-cancel", "heap", heap_ms, static_cast<double>(kChurnEvents));
+  record("schedule-cancel", "map", map_ms, static_cast<double>(kChurnEvents));
+
+  // -- alarm queue maintenance churn ----------------------------------------
+  {
+    const AlarmChurnResult native = churn_alarm_queue(std::make_unique<alarm::NativePolicy>());
+    record("alarm-rebatch", "NATIVE", native.wall_ms, static_cast<double>(native.inserts));
+    const AlarmChurnResult simty_r = churn_alarm_queue(std::make_unique<alarm::SimtyPolicy>());
+    record("alarm-rebatch", "SIMTY", simty_r.wall_ms, static_cast<double>(simty_r.inserts));
+  }
+
+  std::printf("Core micro: discrete-event hot path (1e6-event churn)\n");
+  std::printf("%s\n", t.render().c_str());
+  std::printf("schedule-pop speedup (heap vs map): %.2fx\n", pop_heap / pop_map);
+
+  if (json_path) {
+    if (!bench::write_bench_json(*json_path, records)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu records to %s\n", records.size(), json_path->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+// Machine-readable bench output.
+//
+// Bench binaries print human-readable tables; passing `--json <path>` also
+// writes a JSON array of {name, wall_ms, events_per_sec} records. CI
+// archives these files as artifacts so the repo accumulates a perf
+// trajectory (per-commit throughput numbers) instead of only the coarse
+// wall-time budget gate in bench/serial_budgets.txt.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simty::bench {
+
+/// One measured workload. `events_per_sec` is the workload's natural
+/// throughput unit (events, inserts, ops); 0 when only wall time applies.
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+};
+
+/// Extracts the path of a `--json <path>` flag pair, if present.
+inline std::optional<std::string> json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// Writes the records as a JSON array; returns false on I/O failure.
+/// Record names must not contain characters needing JSON escapes.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "  {\"name\": \"%s\", \"wall_ms\": %.3f, \"events_per_sec\": %.0f}%s\n",
+                 r.name.c_str(), r.wall_ms, r.events_per_sec,
+                 i + 1 == records.size() ? "" : ",");
+  }
+  std::fprintf(f, "]\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace simty::bench

@@ -126,10 +126,19 @@ void AlarmManager::insert(Alarm* a) {
     q[*slot]->add(a);
     SIMTY_CHECK_MSG(!q[*slot]->grace_interval().is_empty(),
                     "policy joined an entry with no grace overlap");
+    reposition(q, *slot);
   } else {
-    q.push_back(std::make_unique<Batch>(a));
+    // New singleton entry: a stable_sort would place it after every entry
+    // with an equal delivery time (it was appended last), i.e. upper_bound.
+    auto batch = std::make_unique<Batch>(a);
+    const TimePoint t = batch->delivery_time();
+    const auto pos = std::upper_bound(
+        q.begin(), q.end(), t, [](TimePoint value, const std::unique_ptr<Batch>& b) {
+          return value < b->delivery_time();
+        });
+    q.insert(pos, std::move(batch));
   }
-  sort_queue(a->spec().kind);
+  if (slow_queue_checks_) sort_queue(a->spec().kind);
   if (a->spec().kind == AlarmKind::kWakeup) {
     reprogram_rtc();
   } else {
@@ -164,11 +173,48 @@ bool AlarmManager::remove_from_queue(AlarmId id) {
   return false;
 }
 
-void AlarmManager::sort_queue(AlarmKind kind) {
-  auto& q = queue_ref(kind);
-  std::stable_sort(q.begin(), q.end(), [](const auto& x, const auto& y) {
-    return x->delivery_time() < y->delivery_time();
-  });
+void AlarmManager::reposition(std::vector<std::unique_ptr<Batch>>& q,
+                              std::size_t index) {
+  // The queue was sorted before q[index] changed key, so at most this one
+  // entry is out of place. Moving it to upper_bound (key decreased) or
+  // lower_bound (key increased) of the others reproduces exactly what the
+  // old full stable_sort produced: every equal-key entry was on the side
+  // the bound preserves (the array was sorted, so equal keys could only
+  // sit before a decreased key / after an increased one), and stable_sort
+  // keeps relative order with all of them.
+  const TimePoint t = q[index]->delivery_time();
+  if (index > 0 && q[index - 1]->delivery_time() > t) {
+    const auto pos = std::upper_bound(
+        q.begin(), q.begin() + static_cast<std::ptrdiff_t>(index), t,
+        [](TimePoint value, const std::unique_ptr<Batch>& b) {
+          return value < b->delivery_time();
+        });
+    std::rotate(pos, q.begin() + static_cast<std::ptrdiff_t>(index),
+                q.begin() + static_cast<std::ptrdiff_t>(index) + 1);
+  } else if (index + 1 < q.size() && q[index + 1]->delivery_time() < t) {
+    const auto pos = std::lower_bound(
+        q.begin() + static_cast<std::ptrdiff_t>(index) + 1, q.end(), t,
+        [](const std::unique_ptr<Batch>& b, TimePoint value) {
+          return b->delivery_time() < value;
+        });
+    std::rotate(q.begin() + static_cast<std::ptrdiff_t>(index),
+                q.begin() + static_cast<std::ptrdiff_t>(index) + 1, pos);
+  }
+}
+
+void AlarmManager::sort_queue(AlarmKind kind) const {
+  const auto& q = queue(kind);
+  std::vector<const Batch*> expected;
+  expected.reserve(q.size());
+  for (const auto& b : q) expected.push_back(b.get());
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Batch* x, const Batch* y) {
+                     return x->delivery_time() < y->delivery_time();
+                   });
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    SIMTY_CHECK_MSG(expected[i] == q[i].get(),
+                    "incremental queue maintenance diverged from stable_sort");
+  }
 }
 
 void AlarmManager::reprogram_rtc() {

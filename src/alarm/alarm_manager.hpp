@@ -149,6 +149,11 @@ class AlarmManager {
   /// Read-only view of a batch queue (sorted by delivery time).
   const std::vector<std::unique_ptr<Batch>>& queue(AlarmKind kind) const;
 
+  /// Enables the stable_sort equivalence check after every queue mutation
+  /// (see sort_queue). O(n log n) per insert — tests only. Defaults to on
+  /// when built with -DSIMTY_SLOW_CHECKS.
+  void set_slow_queue_checks(bool enabled) { slow_queue_checks_ = enabled; }
+
   /// Human-readable state dump (in the spirit of `dumpsys alarm`): both
   /// queues, every entry's attributes, and every member alarm.
   std::string dump() const;
@@ -171,12 +176,20 @@ class AlarmManager {
   /// Places an alarm via the policy, keeps the queue sorted, reprograms.
   void insert(Alarm* a);
 
+  /// Restores sorted order after the batch at `index` changed its delivery
+  /// time (a member joined): rotates only the affected batch to its new
+  /// position. Equivalent to the old full stable_sort — see sort_queue.
+  void reposition(std::vector<std::unique_ptr<Batch>>& q, std::size_t index);
+
   /// Removes `id` from its queue if present; dissolves the entry and
   /// reinserts the remaining members in nominal order. Returns true if the
   /// alarm was queued.
   bool remove_from_queue(AlarmId id);
 
-  void sort_queue(AlarmKind kind);
+  /// Debug check (the old full re-sort, demoted): asserts that the
+  /// incrementally maintained queue order matches what a stable_sort of
+  /// the current queue would produce. Gated by slow_queue_checks_.
+  void sort_queue(AlarmKind kind) const;
   void reprogram_rtc();
   void schedule_nonwakeup_check();
 
@@ -201,6 +214,11 @@ class AlarmManager {
   Stats stats_;
   std::uint64_t next_id_ = 1;
   std::uint64_t last_seen_wakeups_ = 0;
+#ifdef SIMTY_SLOW_CHECKS
+  bool slow_queue_checks_ = true;
+#else
+  bool slow_queue_checks_ = false;
+#endif
 };
 
 }  // namespace simty::alarm

@@ -1,0 +1,105 @@
+#pragma once
+// Allocation-free event callback for the discrete-event hot path.
+//
+// EventFn is a move-only, small-buffer-only replacement for
+// std::function<void()>: every callable is stored inline in a fixed-size
+// buffer, and a callable that does not fit is a compile error rather than a
+// silent heap fallback. The simulator schedules millions of events per
+// experiment; with EventFn a schedule() performs zero allocations, and the
+// static_assert in the converting constructor is the proof that this holds
+// for every in-tree caller (shrink the capture — e.g. capture a pointer —
+// or raise kInlineBytes if it ever fires).
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace simty::sim {
+
+/// Move-only callable with fixed inline storage and no heap fallback.
+class EventFn {
+ public:
+  /// Sized for the largest in-tree capture (the GCM fetch completion:
+  /// this + lock + PushMessage + handler pointer) with headroom.
+  static constexpr std::size_t kInlineBytes = 112;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "EventFn requires a void() callable");
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "callback capture too large for EventFn inline storage — "
+                  "capture a pointer instead, or raise EventFn::kInlineBytes");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callback over-aligned for EventFn inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "EventFn callables must be nothrow-move-constructible");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = ops_for<Fn>();
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the stored callable; must not be empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Destroys the stored callable (if any), leaving the EventFn empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* src, void* dst) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static const Ops* ops_for() {
+    static constexpr Ops ops{
+        [](void* self) { (*static_cast<Fn*>(self))(); },
+        [](void* src, void* dst) noexcept {
+          Fn* from = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        },
+        [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace simty::sim

@@ -1,40 +1,134 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
 #include "common/check.hpp"
 
 namespace simty::sim {
 
-EventId EventQueue::schedule(TimePoint when, EventPriority priority, EventCallback cb,
-                             std::string label) {
+const char* intern_label(std::string_view label) {
+  // Node-based set: element addresses are stable across rehashing. The pool
+  // is global (labels outlive every queue) and mutexed (the parallel runner
+  // drives one simulator per worker thread).
+  static std::mutex mu;
+  static std::unordered_set<std::string> pool;
+  const std::lock_guard<std::mutex> lock(mu);
+  return pool.emplace(label).first->c_str();
+}
+
+EventId EventQueue::schedule(TimePoint when, EventPriority priority, EventFn cb,
+                             const char* label) {
   SIMTY_CHECK_MSG(static_cast<bool>(cb), "EventQueue::schedule: empty callback");
-  const Key key{when.us(), static_cast<int>(priority), next_seq_++};
-  const EventId id{key.seq};
-  events_.emplace(key, Entry{std::move(cb), std::move(label), id});
-  index_.emplace(id.value, key);
-  return id;
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slab_[idx];
+  s.callback = std::move(cb);
+  s.label = label != nullptr ? label : "";
+  s.when_us = when.us();
+  s.order = (static_cast<std::uint64_t>(priority) << 60) | seq;
+  s.armed = true;
+  heap_push(HeapItem{s.when_us, s.order, idx});
+  ++live_;
+  return EventId{(static_cast<std::uint64_t>(s.generation) << 32) | idx};
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = index_.find(id.value);
-  if (it == index_.end()) return false;
-  events_.erase(it->second);
-  index_.erase(it);
+  const auto idx = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (idx >= slab_.size()) return false;
+  Slot& s = slab_[idx];
+  if (!s.armed || s.generation != gen) return false;
+  // Lazy cancellation: tombstone the slot; the heap node is recycled when
+  // it surfaces at the root. Drop the callback now so captured resources
+  // are released at cancel time, not at some later pop.
+  s.armed = false;
+  s.callback.reset();
+  --live_;
+  prune_root();
   return true;
 }
 
 TimePoint EventQueue::next_time() const {
-  SIMTY_CHECK_MSG(!events_.empty(), "EventQueue::next_time on empty queue");
-  return TimePoint::from_us(events_.begin()->first.when_us);
+  SIMTY_CHECK_MSG(live_ > 0, "EventQueue::next_time on empty queue");
+  // prune_root() runs after every cancel/pop, so a non-empty queue's root
+  // is always a live event.
+  return TimePoint::from_us(heap_.front().when_us);
 }
 
 EventQueue::Fired EventQueue::pop() {
-  SIMTY_CHECK_MSG(!events_.empty(), "EventQueue::pop on empty queue");
-  auto it = events_.begin();
-  Fired fired{TimePoint::from_us(it->first.when_us), std::move(it->second.callback),
-              std::move(it->second.label)};
-  index_.erase(it->second.id.value);
-  events_.erase(it);
+  SIMTY_CHECK_MSG(live_ > 0, "EventQueue::pop on empty queue");
+  const std::uint32_t idx = heap_.front().slot;
+  Slot& s = slab_[idx];
+  Fired fired{TimePoint::from_us(s.when_us), std::move(s.callback), s.label};
+  release_slot(idx);
+  heap_pop_root();
+  --live_;
+  prune_root();
   return fired;
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slab_[idx].next_free;
+    slab_[idx].next_free = kNilSlot;
+    return idx;
+  }
+  SIMTY_CHECK_MSG(slab_.size() < kNilSlot, "EventQueue: slab index space exhausted");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slab_[idx];
+  s.callback.reset();
+  s.armed = false;
+  s.label = "";
+  // Invalidate every outstanding EventId naming this slot before it is
+  // recycled (cancel-after-fire must return false, not hit the new tenant).
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::heap_push(HeapItem item) {
+  heap_.push_back(item);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!item_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::heap_pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (item_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!item_less(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::prune_root() {
+  while (!heap_.empty() && !slab_[heap_.front().slot].armed) {
+    release_slot(heap_.front().slot);
+    heap_pop_root();
+  }
 }
 
 }  // namespace simty::sim

@@ -5,17 +5,30 @@
 // events run in deterministic order, and the priority lane lets the device
 // model run hardware-level transitions (RTC interrupt, wake completion)
 // before framework-level reactions scheduled for the same instant.
+//
+// Storage is a slab-backed 4-ary min-heap. Entries live in a reusable slab
+// indexed by the low half of their EventId (free-list recycling, no
+// per-event allocation); the heap orders slab indices by a key copied into
+// the heap node, so sift operations touch contiguous memory only.
+// cancel() is lazy: it marks a generation-checked tombstone instead of
+// erasing, and the tombstone is skipped (and its slot recycled) when it
+// reaches the heap root. Lazy cancellation cannot perturb the fire order:
+// the (time, priority, seq) key of a live event never changes, and
+// tombstones are invisible to next_time()/pop() by the root-is-live
+// invariant maintained after every mutation.
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/time.hpp"
+#include "sim/event_fn.hpp"
 
 namespace simty::sim {
 
 /// Handle to a scheduled event; valid until the event fires or is cancelled.
+/// Encodes (slot generation << 32 | slab index); a default-constructed id
+/// (value 0) never names a live event.
 struct EventId {
   std::uint64_t value = 0;
   bool operator==(const EventId&) const = default;
@@ -29,9 +42,14 @@ enum class EventPriority : int {
   kObserver = 3,   // metrics sampling, trace capture
 };
 
-using EventCallback = std::function<void()>;
+/// Interns a dynamically built label into a process-lifetime pool and
+/// returns a stable C string. Schedule labels are static literals on the
+/// hot path; this is the debug escape hatch for code that wants a computed
+/// label (costs a mutex + map lookup — keep it out of per-event paths).
+const char* intern_label(std::string_view label);
 
-/// Min-ordered set of future events with O(log n) schedule/cancel/pop.
+/// Min-ordered set of future events with O(log n) schedule/cancel/pop and
+/// no per-event heap allocation.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -39,43 +57,74 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `cb` at `when`; `label` is kept for diagnostics.
-  EventId schedule(TimePoint when, EventPriority priority, EventCallback cb,
-                   std::string label = "");
+  /// Schedules `cb` at `when`; `label` must outlive the event (pass a
+  /// string literal, or intern_label() for a computed one).
+  EventId schedule(TimePoint when, EventPriority priority, EventFn cb,
+                   const char* label = "");
 
   /// Cancels a pending event. Returns false if it already fired/was cancelled.
   bool cancel(EventId id);
 
-  bool empty() const { return events_.empty(); }
-  std::size_t size() const { return events_.size(); }
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live (scheduled, not cancelled) events.
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event; queue must be non-empty.
   TimePoint next_time() const;
 
-  /// Removes and returns the earliest event's callback and metadata.
+  /// Removes and returns the earliest event's callback and metadata. The
+  /// callback is moved out of the queue, never copied.
   struct Fired {
     TimePoint when;
-    EventCallback callback;
-    std::string label;
+    EventFn callback;
+    const char* label = "";
   };
   Fired pop();
 
+  /// Slab high-water mark (slots ever allocated); tombstoned slots are
+  /// recycled, so this stays near the peak live count. Exposed for tests.
+  std::size_t slab_slots() const { return slab_.size(); }
+
  private:
-  struct Key {
-    std::int64_t when_us;
-    int priority;
-    std::uint64_t seq;
-    auto operator<=>(const Key&) const = default;
-  };
-  struct Entry {
-    EventCallback callback;
-    std::string label;
-    EventId id;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    EventFn callback;
+    const char* label = "";
+    std::int64_t when_us = 0;
+    std::uint64_t order = 0;       // (priority << 60) | seq
+    std::uint32_t generation = 1;  // bumped on release; 0 is never live
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;  // false = tombstone awaiting root pruning
   };
 
-  std::map<Key, Entry> events_;
-  std::map<std::uint64_t, Key> index_;  // EventId -> Key for cancellation
+  /// Heap node: the full comparison key plus the slab index, so sifting
+  /// never chases a slab pointer.
+  struct HeapItem {
+    std::int64_t when_us;
+    std::uint64_t order;
+    std::uint32_t slot;
+  };
+
+  static bool item_less(const HeapItem& a, const HeapItem& b) {
+    if (a.when_us != b.when_us) return a.when_us < b.when_us;
+    return a.order < b.order;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void heap_push(HeapItem item);
+  void heap_pop_root();
+  /// Recycles tombstones sitting at the heap root, restoring the invariant
+  /// that a non-empty queue's root is a live event.
+  void prune_root();
+
+  std::vector<Slot> slab_;
+  std::vector<HeapItem> heap_;
+  std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace simty::sim

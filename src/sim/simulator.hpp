@@ -7,7 +7,6 @@
 // paper's "three runs, averaged" protocol be exactly reproducible.
 
 #include <cstdint>
-#include <string>
 
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
@@ -25,15 +24,17 @@ class Simulator {
   /// Current virtual time. Starts at the origin and only moves forward.
   TimePoint now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `when` (must be >= now()).
-  EventId schedule_at(TimePoint when, EventCallback cb,
+  /// Schedules `cb` at absolute time `when` (must be >= now()). `label`
+  /// must outlive the event: pass a string literal, or intern_label() for
+  /// a computed one.
+  EventId schedule_at(TimePoint when, EventFn cb,
                       EventPriority priority = EventPriority::kFramework,
-                      std::string label = "");
+                      const char* label = "");
 
   /// Schedules `cb` after a non-negative delay from now().
-  EventId schedule_after(Duration delay, EventCallback cb,
+  EventId schedule_after(Duration delay, EventFn cb,
                          EventPriority priority = EventPriority::kFramework,
-                         std::string label = "");
+                         const char* label = "");
 
   /// Cancels a pending event; false if it already ran or was cancelled.
   bool cancel(EventId id);
