@@ -14,7 +14,9 @@ const char* intern_label(std::string_view label) {
   // is global (labels outlive every queue) and mutexed (the parallel runner
   // drives one simulator per worker thread).
   static std::mutex mu;
-  static std::unordered_set<std::string> pool;
+  // The interner is the one sanctioned owner of label strings: each label is
+  // copied exactly once, ever, and the hot path only sees the c_str().
+  static std::unordered_set<std::string> pool;  // simty-lint: allow(string-label)
   const std::lock_guard<std::mutex> lock(mu);
   return pool.emplace(label).first->c_str();
 }

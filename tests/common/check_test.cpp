@@ -1,0 +1,110 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace simty {
+namespace {
+
+TEST(SimtyCheck, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(SIMTY_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SIMTY_CHECK_MSG(true, "never seen"));
+}
+
+TEST(SimtyCheck, FailureThrowsLogicErrorWithExpressionFileAndLine) {
+  try {
+    SIMTY_CHECK(2 + 2 == 5);  // keep this expression unique in the file
+    FAIL() << "SIMTY_CHECK did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SIMTY_CHECK failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    // file:line — a colon followed by a digit after the file name.
+    const std::size_t file_pos = what.find("check_test.cpp:");
+    ASSERT_NE(file_pos, std::string::npos) << what;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+        what[file_pos + std::string("check_test.cpp:").size()])))
+        << what;
+  }
+}
+
+TEST(SimtyCheckMsg, FailureAppendsTheMessage) {
+  try {
+    SIMTY_CHECK_MSG(false, "queue drained twice");
+    FAIL() << "SIMTY_CHECK_MSG did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("queue drained twice"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+  }
+}
+
+TEST(SimtyCheckMsg, MessageMayBeComputed) {
+  const std::string ctx = "slot 7";
+  try {
+    SIMTY_CHECK_MSG(false, "bad " + ctx);
+    FAIL() << "did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad slot 7"), std::string::npos);
+  }
+}
+
+TEST(SimtyCheck, ExpressionEvaluatedExactlyOncePassing) {
+  int calls = 0;
+  SIMTY_CHECK(++calls > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SimtyCheck, ExpressionEvaluatedExactlyOnceFailing) {
+  int calls = 0;
+  EXPECT_THROW(SIMTY_CHECK(++calls < 0), std::logic_error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SimtyCheckMsg, MessageOnlyBuiltOnFailure) {
+  int message_builds = 0;
+  auto build = [&message_builds] {
+    ++message_builds;
+    return std::string("expensive");
+  };
+  SIMTY_CHECK_MSG(true, build());
+  EXPECT_EQ(message_builds, 0) << "message must be lazy on the passing path";
+  EXPECT_THROW(SIMTY_CHECK_MSG(false, build()), std::logic_error);
+  EXPECT_EQ(message_builds, 1);
+}
+
+// SIMTY_CHECK is documented to throw, so it must compose with functions that
+// are deliberately noexcept(false) — the compiler may not silently
+// terminate() a propagating failure.
+int checked_divide(int num, int den) noexcept(false) {
+  SIMTY_CHECK_MSG(den != 0, "division by zero");
+  return num / den;
+}
+
+TEST(SimtyCheck, UsableInsideNoexceptFalseFunctions) {
+  EXPECT_EQ(checked_divide(10, 2), 5);
+  EXPECT_THROW(checked_divide(1, 0), std::logic_error);
+  try {
+    checked_divide(1, 0);
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("division by zero"), std::string::npos);
+  }
+}
+
+TEST(SimtyCheck, WorksAsSingleStatementInControlFlow) {
+  // The do/while(false) wrapper must make the macro a single statement:
+  // an unbraced if/else around it has to parse and behave.
+  int taken = 0;
+  if (taken == 0)
+    SIMTY_CHECK(true);
+  else
+    SIMTY_CHECK(false);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace simty

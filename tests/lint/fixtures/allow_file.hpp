@@ -1,0 +1,7 @@
+// Fixture: allow-file() suppresses a rule for the whole file.
+// simty-lint: allow-file(pragma-once)
+#include <cstdint>
+
+namespace fixture {
+inline std::int32_t three() { return 3; }
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: assert rule — assert() is compiled out under NDEBUG and aborts
+// instead of throwing; invariants use SIMTY_CHECK. static_assert stays legal.
+#include <cassert>  // LINT-EXPECT: assert
+
+namespace fixture {
+
+inline int clamp_positive(int v) {
+  assert(v >= 0);  // LINT-EXPECT: assert
+  static_assert(sizeof(int) >= 4, "static_assert is not a violation");
+  assert(v < 100);  // simty-lint: allow(assert)
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: lexer soundness — rule tokens inside comments, string literals,
+// raw strings, and character/digit-separator contexts must never fire.
+// Zero findings expected even on a deterministic path.
+#include <string>
+
+namespace fixture {
+
+// rand() and system_clock in a line comment are fine.
+/* std::hash<int> and assert( in a block comment are fine. */
+inline std::string describe() {
+  std::string s = "calls rand() and reads std::chrono::system_clock";
+  s += R"(assert( and std::function belong to this raw string)";
+  const char sep = ':';
+  (void)sep;
+  const int separated = 1'000'000;  // digit separators are not char literals
+  return s + std::to_string(separated);
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: float-time rule — simulated time is integer microsecond ticks;
+// floating-point expressions must round through the sanctioned bridges
+// (Duration::from_seconds, Duration::operator*(double)).
+#include "common/time.hpp"
+
+namespace fixture {
+
+inline simty::Duration grace(double beta) {
+  return simty::Duration::micros(static_cast<long long>(beta * 1000000.0));  // LINT-EXPECT: float-time
+}
+
+inline simty::TimePoint warp(simty::TimePoint t) {
+  return simty::TimePoint::from_us(  // LINT-EXPECT: float-time
+      static_cast<long long>(t.seconds_f() * 1e6));
+}
+
+inline simty::Duration grace_ok(double beta) {
+  return simty::Duration::from_seconds(beta);  // sanctioned bridge: fine
+}
+
+inline simty::Duration half(simty::Duration d) {
+  return simty::Duration::micros(d.us() / 2);  // integer ticks: fine
+}
+
+inline simty::Duration legacy(double b) {
+  return simty::Duration::millis(static_cast<long long>(b * 2.5));  // simty-lint: allow(float-time)
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: a well-formed header — no findings expected.
+
+#include <cstdint>
+
+namespace fixture {
+inline std::int32_t two() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: include-hygiene rule — parent-relative includes and duplicate
+// includes are flagged; repo-relative project includes are the idiom.
+#include "../common/time.hpp"  // LINT-EXPECT: include-hygiene
+#include <vector>
+#include <vector>  // LINT-EXPECT: include-hygiene
+#include "common/stats.hpp"
+#include "hw/../common/units.hpp"  // simty-lint: allow(include-hygiene)
+
+namespace fixture {}

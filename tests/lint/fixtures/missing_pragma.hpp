@@ -1,0 +1,7 @@
+// Fixture: pragma-once rule — a header whose first code line is not
+// `#pragma once` is flagged at that line (leading comments are fine).
+#include <cstdint>  // LINT-EXPECT: pragma-once
+
+namespace fixture {
+inline std::int32_t one() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: raw-rand rule — unseeded randomness in deterministic code.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline unsigned draw() {
+  unsigned a = static_cast<unsigned>(rand());  // LINT-EXPECT: raw-rand
+  std::random_device entropy;                  // LINT-EXPECT: raw-rand
+  (void)entropy;
+  srand(42);  // simty-lint: allow(raw-rand)
+  // simty-lint: allow(raw-rand) — a comment-only allow governs the next line
+  unsigned b = static_cast<unsigned>(rand());
+  return a + b;
+}
+
+}  // namespace fixture

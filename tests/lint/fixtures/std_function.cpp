@@ -1,0 +1,12 @@
+// Fixture: std-function rule — the event hot path stores callbacks in
+// sim::EventFn (inline storage); std::function heap-allocates.
+#include <functional>
+
+namespace fixture {
+
+struct Dispatcher {
+  std::function<void()> callback;  // LINT-EXPECT: std-function
+  std::function<void()> audited;   // simty-lint: allow(std-function)
+};
+
+}  // namespace fixture

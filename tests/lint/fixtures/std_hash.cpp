@@ -1,0 +1,17 @@
+// Fixture: std-hash rule — hash values are implementation-defined, so
+// deterministic logic must not branch on them.
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fixture {
+
+inline std::size_t bucket_of(const std::string& key) {
+  return std::hash<std::string>{}(key) % 7;  // LINT-EXPECT: std-hash
+}
+
+inline std::size_t audited(const std::string& key) {
+  return std::hash<std::string>{}(key);  // simty-lint: allow(std-hash)
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: string-label rule — event labels in the hot path are const char*
+// (interned); std::string allocates per event. std::string_view stays legal.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+inline const char* relabel(std::string_view text) {
+  std::string owned(text);  // LINT-EXPECT: string-label
+  static std::string pool;  // simty-lint: allow(string-label)
+  pool += owned;
+  return pool.c_str();
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: unordered-iter rule — traversal order of unordered containers is
+// not deterministic; ordered containers and lookups stay legal.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using Index = std::unordered_map<int, int>;
+
+inline int sweep() {
+  std::unordered_set<std::string> names;
+  Index index;
+  std::vector<int> ordered;
+  int total = 0;
+  for (const auto& n : names) {  // LINT-EXPECT: unordered-iter
+    total += static_cast<int>(n.size());
+  }
+  auto it = index.begin();  // LINT-EXPECT: unordered-iter
+  (void)it;
+  for (int v : ordered) total += v;  // ordered container: fine
+  for (const auto& [k, v] : index) total += k + v;  // simty-lint: allow(unordered-iter)
+  total += static_cast<int>(names.count("x"));  // point lookup: fine
+  return total;
+}
+
+}  // namespace fixture

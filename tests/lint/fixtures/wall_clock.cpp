@@ -1,0 +1,19 @@
+// Fixture: wall-clock rule (linted as deterministic-path code).
+// Expectation markers on violating lines are parsed by simty_lint_test.cpp;
+// a line with no marker must produce no finding.
+#include <chrono>
+
+namespace fixture {
+
+inline long long now_us() {
+  auto wall = std::chrono::system_clock::now();  // LINT-EXPECT: wall-clock
+  (void)wall;
+  auto mono = std::chrono::steady_clock::now();  // simty-lint: allow(wall-clock)
+  (void)mono;
+  // A comment naming system_clock must not fire.
+  const char* msg = "a string naming system_clock must not fire";
+  (void)msg;
+  return 0;
+}
+
+}  // namespace fixture

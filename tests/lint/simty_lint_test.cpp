@@ -1,0 +1,216 @@
+// Self-tests for simty_lint: every rule must both fire on its fixture and
+// respect the allow-comment escape hatch. Expectations are embedded in the
+// fixtures themselves as `// LINT-EXPECT: <rule>[, <rule>]` markers, so a
+// fixture and its oracle can never drift apart.
+
+#include "lint.hpp"
+#include "lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace simty::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SIMTY_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+using LineRule = std::pair<int, std::string>;
+
+/// Parses the `LINT-EXPECT:` markers out of fixture text.
+std::vector<LineRule> expectations_in(const std::string& content) {
+  std::vector<LineRule> out;
+  std::istringstream in(content);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t pos = line.find("LINT-EXPECT:");
+    if (pos == std::string::npos) continue;
+    std::istringstream rules(line.substr(pos + 12));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (!rule.empty()) out.emplace_back(line_no, rule);
+    }
+  }
+  return out;
+}
+
+std::vector<LineRule> findings_as_pairs(const std::vector<Finding>& findings) {
+  std::vector<LineRule> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+/// Lints `fixture` under `rel_path` and checks findings == embedded markers.
+void check_fixture(const std::string& fixture, const std::string& rel_path) {
+  SCOPED_TRACE(fixture + " as " + rel_path);
+  const std::string content = read_fixture(fixture);
+  ASSERT_FALSE(content.empty());
+  std::vector<LineRule> expected = expectations_in(content);
+  std::vector<LineRule> actual = findings_as_pairs(lint_source(rel_path, content));
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(SimtyLintRules, WallClockFiresAndRespectsAllow) {
+  check_fixture("wall_clock.cpp", "src/alarm/fixture.cpp");
+}
+
+TEST(SimtyLintRules, RawRandFiresAndRespectsAllow) {
+  check_fixture("raw_rand.cpp", "src/exp/fixture.cpp");
+}
+
+TEST(SimtyLintRules, StdHashFiresAndRespectsAllow) {
+  check_fixture("std_hash.cpp", "src/alarm/fixture.cpp");
+}
+
+TEST(SimtyLintRules, UnorderedIterFiresAndRespectsAllow) {
+  check_fixture("unordered_iter.cpp", "src/alarm/fixture.cpp");
+}
+
+TEST(SimtyLintRules, FloatTimeFiresAndRespectsAllow) {
+  check_fixture("float_time.cpp", "src/alarm/fixture.cpp");
+}
+
+TEST(SimtyLintRules, StdFunctionFiresInHotPath) {
+  check_fixture("std_function.cpp", "src/sim/fixture.cpp");
+}
+
+TEST(SimtyLintRules, StringLabelFiresInHotPath) {
+  check_fixture("string_label.cpp", "src/sim/fixture.cpp");
+}
+
+TEST(SimtyLintRules, AssertFiresEverywhere) {
+  check_fixture("asserts.cpp", "src/common/fixture.cpp");
+}
+
+TEST(SimtyLintRules, PragmaOnceRequiredInHeaders) {
+  check_fixture("missing_pragma.hpp", "src/common/fixture.hpp");
+  check_fixture("good_pragma.hpp", "src/common/fixture.hpp");
+  check_fixture("allow_file.hpp", "src/common/fixture.hpp");
+}
+
+TEST(SimtyLintRules, IncludeHygiene) {
+  check_fixture("include_hygiene.cpp", "src/common/fixture.cpp");
+}
+
+TEST(SimtyLintRules, LexerNeverFiresInsideCommentsOrLiterals) {
+  check_fixture("clean.cpp", "src/alarm/fixture.cpp");
+}
+
+TEST(SimtyLintRules, DeterministicRulesScopedToDeterministicPaths) {
+  // The same wall-clock fixture is legal outside src/sim|alarm|exp|policy
+  // (benches time themselves with steady_clock on purpose).
+  const std::string content = read_fixture("wall_clock.cpp");
+  EXPECT_TRUE(lint_source("bench/fixture.cpp", content).empty());
+  EXPECT_TRUE(lint_source("src/metrics/fixture.cpp", content).empty());
+  EXPECT_FALSE(lint_source("src/policy/fixture.cpp", content).empty());
+}
+
+TEST(SimtyLintRules, HotPathRulesScopedToSim) {
+  const std::string content = read_fixture("std_function.cpp");
+  EXPECT_TRUE(lint_source("src/hw/fixture.cpp", content).empty());
+}
+
+TEST(SimtyLintRules, ExtraUnorderedNamesCoverCompanionHeaderMembers) {
+  // Members declared in a header are invisible when linting the .cpp alone;
+  // Options::extra_unordered_names (fed by the CLI from the companion
+  // header) closes that hole.
+  const std::string body =
+      "namespace f {\n"
+      "void T::run() {\n"
+      "  for (const auto& kv : members_) use(kv);\n"
+      "}\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/alarm/t.cpp", body).empty());
+  Options opts;
+  opts.extra_unordered_names = {"members_"};
+  const auto findings = lint_source("src/alarm/t.cpp", body, opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(SimtyLintLexer, BlanksLiteralsAndKeepsStructure) {
+  const FileScan scan = scan_source(
+      "int a = 1; // rand()\n"
+      "const char* s = \"system_clock\";\n"
+      "/* std::hash */ int b = 2;\n");
+  ASSERT_GE(scan.code.size(), 3u);
+  EXPECT_FALSE(has_word(scan.code[0], "rand"));
+  EXPECT_FALSE(has_word(scan.code[1], "system_clock"));
+  EXPECT_FALSE(has_word(scan.code[2], "std::hash"));
+  EXPECT_TRUE(has_word(scan.code[2], "b"));
+}
+
+TEST(SimtyLintLexer, AllowDirectiveParsing) {
+  const FileScan scan = scan_source(
+      "int a;  // simty-lint: allow(rule-a, rule-b)\n"
+      "// simty-lint: allow(rule-c)\n"
+      "int b;\n"
+      "// simty-lint: allow-file(rule-d)\n");
+  ASSERT_EQ(scan.line_allows.size(), 5u);  // 4 lines + trailing empty line
+  EXPECT_EQ(scan.line_allows[0], (std::vector<std::string>{"rule-a", "rule-b"}));
+  EXPECT_TRUE(scan.line_allows[1].empty());
+  EXPECT_EQ(scan.line_allows[2], (std::vector<std::string>{"rule-c"}));
+  EXPECT_EQ(scan.file_allows, (std::vector<std::string>{"rule-d"}));
+}
+
+TEST(SimtyLintLexer, WordBoundaries) {
+  EXPECT_TRUE(has_word("x = rand();", "rand"));
+  EXPECT_FALSE(has_word("x = grand();", "rand"));
+  EXPECT_FALSE(has_word("x = rands();", "rand"));
+  EXPECT_TRUE(has_word("std::hash<int> h;", "std::hash"));
+  EXPECT_FALSE(has_word("std::hashish h;", "std::hash"));
+  EXPECT_FALSE(has_word("std::string_view v;", "std::string"));
+}
+
+TEST(SimtyLintApi, UnorderedNamesInFindsAliasesAndMembers) {
+  const auto names = unordered_names_in(
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "using Index = std::unordered_map<int, int>;\n"
+      "struct S {\n"
+      "  std::unordered_map<int, std::vector<int>> by_id_;\n"
+      "  Index index_;\n"
+      "};\n");
+  EXPECT_NE(std::find(names.begin(), names.end(), "by_id_"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "index_"), names.end());
+}
+
+TEST(SimtyLintApi, JsonReportEscapesAndCounts) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "assert", "uses \"assert\""}};
+  const std::string json = to_json(findings, 7);
+  EXPECT_NE(json.find("\"files_scanned\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"assert\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_EQ(to_json({}, 0).find("\"findings\": []") == std::string::npos, false);
+}
+
+TEST(SimtyLintApi, RuleNamesStable) {
+  const auto& names = rule_names();
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "unordered-iter"), names.end());
+}
+
+}  // namespace
+}  // namespace simty::lint

@@ -1,0 +1,49 @@
+#include "lint.hpp"
+
+namespace simty::lint {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings, std::size_t files_scanned) {
+  std::string out = "{\n  \"version\": 1,\n  \"files_scanned\": ";
+  out += std::to_string(files_scanned);
+  out += ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    append_escaped(out, f.file);
+    out += "\", \"line\": ";
+    out += std::to_string(f.line);
+    out += ", \"rule\": \"";
+    append_escaped(out, f.rule);
+    out += "\", \"message\": \"";
+    append_escaped(out, f.message);
+    out += "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace simty::lint
