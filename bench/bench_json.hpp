@@ -39,7 +39,7 @@ inline bool write_bench_json(const std::string& path,
   std::fprintf(f, "[\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
-    std::fprintf(f, "  {\"name\": \"%s\", \"wall_ms\": %.3f, \"events_per_sec\": %.0f}%s\n",
+    std::fprintf(f, "  {\"name\": \"%s\", \"wall_ms\": %.3f, \"events_per_sec\": %.3f}%s\n",
                  r.name.c_str(), r.wall_ms, r.events_per_sec,
                  i + 1 == records.size() ? "" : ",");
   }

@@ -1,0 +1,174 @@
+// Queue-scaling benchmark: indexed batch selection vs the linear scan.
+//
+// Drives AlarmManager insert, dissolve (re-registration), and rebatch churn
+// at 1e2 / 1e3 / 1e4 resident alarms under the SIMTY policy, once with the
+// BatchIndex candidate path (the default) and once with
+// set_indexed_selection(false) forcing every placement through the linear
+// select_batch reference. Alarm density per simulated second is held
+// constant across scales, so the overlap count k stays roughly flat while
+// n grows — exactly the regime where O(log n + k) beats O(n). Both runs
+// are generated from the same seed and must end in identical queue states
+// (checked, since the indexed path is exact by contract).
+//
+// `--json <path>` writes BENCH_queue_scale.json-style records; the checked-
+// in bench/BENCH_queue_scale.json baseline is diffed by CI via
+// tools/check_bench_baseline.sh, which fails when a speedup record
+// collapses.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "alarm/simty_policy.hpp"
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hw/power_bus.hpp"
+#include "hw/power_model.hpp"
+
+namespace simty {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct ScaleResult {
+  double insert_ms = 0.0;    // n registrations into a growing queue
+  double dissolve_ms = 0.0;  // n re-registrations (dissolve + reinsert)
+  double rebatch_ms = 0.0;   // full-queue realignments
+  int rebatches = 0;
+  // Final-state fingerprint for the indexed-vs-linear identity check.
+  std::size_t wakeup_entries = 0;
+  std::int64_t head_us = 0;
+};
+
+ScaleResult run_scale(int n, bool indexed) {
+  sim::Simulator sim;
+  hw::PowerModel model = hw::PowerModel::nexus5();
+  hw::PowerBus bus;
+  hw::Device device(sim, model, bus);
+  hw::Rtc rtc(sim, device);
+  hw::WakelockManager wakelocks(sim, model, bus);
+  alarm::AlarmManager manager(sim, device, rtc, wakelocks,
+                              std::make_unique<alarm::SimtyPolicy>());
+  manager.set_indexed_selection(indexed);
+
+  // Constant temporal density: n alarms spread over n * 10 simulated
+  // seconds, repeat intervals (and hence grace lengths) independent of n.
+  const std::int64_t span_s = static_cast<std::int64_t>(n) * 10;
+  Rng rng(2026);
+  ScaleResult out;
+  std::vector<alarm::AlarmId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+
+  auto start = Clock::now();
+  for (int i = 0; i < n; ++i) {
+    const Duration repeat =
+        Duration::seconds(600 * (1 + static_cast<int>(rng.next_below(6))));
+    alarm::AlarmSpec spec = alarm::AlarmSpec::repeating(
+        "scale." + std::to_string(i), alarm::AppId{static_cast<std::uint32_t>(i % 64)},
+        alarm::RepeatMode::kStatic, repeat, 0.1, 0.5);
+    const TimePoint nominal =
+        TimePoint::origin() +
+        Duration::seconds(1 + static_cast<std::int64_t>(
+                                  rng.next_below(static_cast<std::uint32_t>(span_s))));
+    ids.push_back(manager.register_alarm(
+        spec, nominal, [](const alarm::Alarm&, TimePoint) { return alarm::TaskSpec{}; }));
+  }
+  out.insert_ms = ms_since(start);
+
+  start = Clock::now();
+  for (int i = 0; i < n; ++i) {
+    const alarm::AlarmId id = ids[rng.next_below(static_cast<std::uint32_t>(ids.size()))];
+    manager.set(id, TimePoint::origin() +
+                        Duration::seconds(1 + static_cast<std::int64_t>(rng.next_below(
+                                                  static_cast<std::uint32_t>(span_s)))));
+  }
+  out.dissolve_ms = ms_since(start);
+
+  // Keep total rebatched inserts comparable across scales.
+  out.rebatches = n >= 10000 ? 2 : (n >= 1000 ? 5 : 20);
+  start = Clock::now();
+  for (int r = 0; r < out.rebatches; ++r) manager.rebatch_all();
+  out.rebatch_ms = ms_since(start);
+
+  out.wakeup_entries = manager.queue(alarm::AlarmKind::kWakeup).size();
+  out.head_us = manager.queue(alarm::AlarmKind::kWakeup).empty()
+                    ? 0
+                    : manager.queue(alarm::AlarmKind::kWakeup)
+                          .front()
+                          ->delivery_time()
+                          .us();
+  return out;
+}
+
+}  // namespace
+}  // namespace simty
+
+int main(int argc, char** argv) {
+  using namespace simty;
+
+  const auto json_path = bench::json_path_from_args(argc, argv);
+  std::vector<bench::BenchRecord> records;
+  TextTable t;
+  t.set_header({"n", "workload", "impl", "wall (ms)", "inserts/sec"});
+
+  const auto record = [&](int n, const std::string& workload, const std::string& impl,
+                          double wall_ms, double ops) {
+    const double rate = ops / (wall_ms / 1e3);
+    t.add_row({str_format("%d", n), workload, impl, str_format("%.1f", wall_ms),
+               str_format("%.0f", rate)});
+    records.push_back(
+        {workload + "/n=" + std::to_string(n) + "/" + impl, wall_ms, rate});
+  };
+
+  bool identical = true;
+  double headline = 0.0;
+  for (const int n : {100, 1000, 10000}) {
+    const ScaleResult idx = run_scale(n, /*indexed=*/true);
+    const ScaleResult lin = run_scale(n, /*indexed=*/false);
+    identical = identical && idx.wakeup_entries == lin.wakeup_entries &&
+                idx.head_us == lin.head_us;
+
+    record(n, "insert", "indexed", idx.insert_ms, n);
+    record(n, "insert", "linear", lin.insert_ms, n);
+    record(n, "dissolve", "indexed", idx.dissolve_ms, n);
+    record(n, "dissolve", "linear", lin.dissolve_ms, n);
+    const double rebatch_inserts = static_cast<double>(n) * idx.rebatches;
+    record(n, "rebatch", "indexed", idx.rebatch_ms, rebatch_inserts);
+    record(n, "rebatch", "linear", lin.rebatch_ms, rebatch_inserts);
+
+    // Headline ratio: insert + rebatch churn, linear over indexed.
+    const double speedup =
+        (lin.insert_ms + lin.rebatch_ms) / (idx.insert_ms + idx.rebatch_ms);
+    records.push_back({"speedup/insert+rebatch/n=" + std::to_string(n),
+                       idx.insert_ms + idx.rebatch_ms, speedup});
+    if (n == 10000) headline = speedup;
+  }
+
+  std::printf("Queue scaling: BatchIndex candidate path vs linear select_batch\n");
+  std::printf("%s\n", t.render().c_str());
+  std::printf("insert+rebatch speedup at n=10000 (linear vs indexed): %.2fx\n",
+              headline);
+  if (!identical) {
+    std::fprintf(stderr, "error: indexed and linear runs diverged\n");
+    return 1;
+  }
+
+  if (json_path) {
+    if (!bench::write_bench_json(*json_path, records)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu records to %s\n", records.size(), json_path->c_str());
+  }
+  return 0;
+}

@@ -68,6 +68,7 @@ void AlarmSpec::validate() const {
 Alarm::Alarm(AlarmId id, AlarmSpec spec, TimePoint nominal)
     : id_(id), spec_(std::move(spec)), nominal_(nominal) {
   spec_.validate();
+  update_perceptibility();
 }
 
 TimeInterval Alarm::window_interval() const {
@@ -81,10 +82,9 @@ TimeInterval Alarm::grace_interval() const {
   return TimeInterval::from_length(nominal_, spec_.grace_length);
 }
 
-bool Alarm::perceptible() const {
-  if (spec_.mode == RepeatMode::kOneShot) return true;
-  if (!hardware_known_) return true;
-  return hardware_.any_perceptible();
+void Alarm::update_perceptibility() {
+  perceptible_ = spec_.mode == RepeatMode::kOneShot || !hardware_known_ ||
+                 hardware_.any_perceptible();
 }
 
 void Alarm::reschedule(TimePoint nominal) { nominal_ = nominal; }
@@ -94,6 +94,7 @@ void Alarm::record_delivery(hw::ComponentSet used, Duration hold) {
   ++delivery_count_;
   hardware_ = used;
   hardware_known_ = true;
+  update_perceptibility();
   if (expected_hold_.is_zero()) {
     expected_hold_ = hold;
   } else {

@@ -93,8 +93,9 @@ class Alarm {
   /// Perceptibility per §3.1.2 + footnote 5: one-shot alarms and alarms
   /// whose hardware set is still unknown are perceptible by definition;
   /// otherwise an alarm is perceptible iff it wakelocks a user-perceptible
-  /// component.
-  bool perceptible() const;
+  /// component. Precomputed — perceptibility only changes when a delivery
+  /// is recorded, never on reschedule, so policy scans read a cached flag.
+  bool perceptible() const { return perceptible_; }
 
   std::uint64_t delivery_count() const { return delivery_count_; }
 
@@ -109,11 +110,14 @@ class Alarm {
   std::string to_string() const;
 
  private:
+  void update_perceptibility();
+
   AlarmId id_;
   AlarmSpec spec_;
   TimePoint nominal_;
   hw::ComponentSet hardware_;
   bool hardware_known_ = false;
+  bool perceptible_ = true;
   Duration expected_hold_ = Duration::zero();
   std::uint64_t delivery_count_ = 0;
 };

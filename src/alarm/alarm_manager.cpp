@@ -77,6 +77,7 @@ void AlarmManager::rebatch_all() {
     }
     q.clear();
   }
+  for (auto& idx : indices_) idx.clear();
   std::sort(alarms.begin(), alarms.end(), [](const Alarm* x, const Alarm* y) {
     return x->nominal() < y->nominal();
   });
@@ -118,14 +119,60 @@ std::vector<std::unique_ptr<Batch>>& AlarmManager::queue_ref(AlarmKind kind) {
   return queues_[static_cast<std::size_t>(kind)];
 }
 
+BatchIndex& AlarmManager::index_ref(AlarmKind kind) {
+  return indices_[static_cast<std::size_t>(kind)];
+}
+
+void AlarmManager::renumber(std::vector<std::unique_ptr<Batch>>& q,
+                            std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to; ++i) q[i]->set_queue_pos(i);
+}
+
+std::optional<std::size_t> AlarmManager::select_entry(const Alarm& a,
+                                                      AlarmKind kind) {
+  auto& q = queue_ref(kind);
+  const std::optional<CandidateQuery> query =
+      indexed_selection_ ? policy_->candidate_query(a) : std::nullopt;
+  if (!query) return policy_->select_batch(a, q);
+
+  candidates_.clear();
+  index_ref(kind).collect(query->interval, query->entry_kind, candidates_);
+  const std::optional<std::size_t> chosen =
+      policy_->select_among(a, q, candidates_);
+
+  if (slow_queue_checks_) {
+    // Differential reference: the candidate set must equal a brute-force
+    // overlap scan, and the selection must equal the linear select_batch.
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const TimeInterval& entry_iv =
+          query->entry_kind == EntryIntervalKind::kWindow
+              ? q[i]->window_interval()
+              : q[i]->grace_interval();
+      if (entry_iv.overlaps(query->interval)) expected.push_back(i);
+    }
+    SIMTY_CHECK_MSG(expected == candidates_,
+                    "BatchIndex candidate set diverged from the linear scan");
+    SIMTY_CHECK_MSG(chosen == policy_->select_batch(a, q),
+                    "indexed selection diverged from the linear reference");
+  }
+  return chosen;
+}
+
 void AlarmManager::insert(Alarm* a) {
-  auto& q = queue_ref(a->spec().kind);
-  const std::optional<std::size_t> slot = policy_->select_batch(*a, q);
+  const AlarmKind kind = a->spec().kind;
+  auto& q = queue_ref(kind);
+  BatchIndex& idx = index_ref(kind);
+  const std::optional<std::size_t> slot = select_entry(*a, kind);
   if (slot) {
     SIMTY_CHECK(*slot < q.size());
+    // The join changes the entry's intervals, so re-key it in the index
+    // around the mutation.
+    idx.erase(q[*slot].get());
     q[*slot]->add(a);
     SIMTY_CHECK_MSG(!q[*slot]->grace_interval().is_empty(),
                     "policy joined an entry with no grace overlap");
+    idx.insert(q[*slot].get());
     reposition(q, *slot);
   } else {
     // New singleton entry: a stable_sort would place it after every entry
@@ -136,7 +183,11 @@ void AlarmManager::insert(Alarm* a) {
         q.begin(), q.end(), t, [](TimePoint value, const std::unique_ptr<Batch>& b) {
           return value < b->delivery_time();
         });
+    const auto at = static_cast<std::size_t>(pos - q.begin());
     q.insert(pos, std::move(batch));
+    // Position stamps ride on the O(shift) the vector insert already paid.
+    renumber(q, at, q.size());
+    idx.insert(q[at].get());
   }
   if (slow_queue_checks_) sort_queue(a->spec().kind);
   if (a->spec().kind == AlarmKind::kWakeup) {
@@ -147,7 +198,8 @@ void AlarmManager::insert(Alarm* a) {
 }
 
 bool AlarmManager::remove_from_queue(AlarmId id) {
-  for (auto& q : queues_) {
+  for (std::size_t k = 0; k < 2; ++k) {
+    auto& q = queues_[k];
     const auto it = std::find_if(q.begin(), q.end(), [&](const auto& b) {
       return b->contains(id);
     });
@@ -156,7 +208,10 @@ bool AlarmManager::remove_from_queue(AlarmId id) {
     // Realignment (§2.1): pull the whole entry out and reinsert the other
     // members in nominal order; the caller reinserts the target alarm.
     std::unique_ptr<Batch> batch = std::move(*it);
+    indices_[k].erase(batch.get());
+    const auto at = static_cast<std::size_t>(it - q.begin());
     q.erase(it);
+    renumber(q, at, q.size());
     batch->remove(id);
     if (!batch->empty()) {
       ++stats_.realignments;
@@ -189,16 +244,20 @@ void AlarmManager::reposition(std::vector<std::unique_ptr<Batch>>& q,
         [](TimePoint value, const std::unique_ptr<Batch>& b) {
           return value < b->delivery_time();
         });
+    const auto dest = static_cast<std::size_t>(pos - q.begin());
     std::rotate(pos, q.begin() + static_cast<std::ptrdiff_t>(index),
                 q.begin() + static_cast<std::ptrdiff_t>(index) + 1);
+    renumber(q, dest, index + 1);
   } else if (index + 1 < q.size() && q[index + 1]->delivery_time() < t) {
     const auto pos = std::lower_bound(
         q.begin() + static_cast<std::ptrdiff_t>(index) + 1, q.end(), t,
         [](const std::unique_ptr<Batch>& b, TimePoint value) {
           return b->delivery_time() < value;
         });
+    const auto dest = static_cast<std::size_t>(pos - q.begin());
     std::rotate(q.begin() + static_cast<std::ptrdiff_t>(index),
                 q.begin() + static_cast<std::ptrdiff_t>(index) + 1, pos);
+    renumber(q, index, dest);
   }
 }
 
@@ -257,10 +316,13 @@ void AlarmManager::schedule_nonwakeup_check() {
 
 void AlarmManager::deliver_due(AlarmKind kind) {
   auto& q = queue_ref(kind);
+  BatchIndex& idx = index_ref(kind);
   const TimePoint now = sim_.now();
   while (!q.empty() && q.front()->delivery_time() <= now) {
     std::unique_ptr<Batch> batch = std::move(q.front());
+    idx.erase(batch.get());
     q.erase(q.begin());
+    renumber(q, 0, q.size());
     deliver_batch(std::move(batch));
   }
   if (kind == AlarmKind::kWakeup) {
@@ -432,6 +494,10 @@ std::vector<std::string> AlarmManager::check_invariants() const {
             str_format("%s[%zu]: perceptible entry without window overlap",
                        to_string(kind), i));
       }
+      if (b.queue_pos() != i) {
+        issues.push_back(str_format("%s[%zu]: stale queue position %zu",
+                                    to_string(kind), i, b.queue_pos()));
+      }
       for (const Alarm* a : b.members()) {
         ++seen[a->id().value];
         if (!registry_.contains(a->id().value)) {
@@ -447,6 +513,23 @@ std::vector<std::string> AlarmManager::check_invariants() const {
     if (count > 1) {
       issues.push_back(str_format("alarm %llu queued %d times",
                                   static_cast<unsigned long long>(id), count));
+    }
+  }
+  for (const AlarmKind kind : {AlarmKind::kWakeup, AlarmKind::kNonWakeup}) {
+    const auto& q = queue(kind);
+    const BatchIndex& idx = indices_[static_cast<std::size_t>(kind)];
+    if (idx.size() != q.size()) {
+      issues.push_back(str_format("%s: index holds %zu entries, queue %zu",
+                                  to_string(kind), idx.size(), q.size()));
+    }
+    for (const Batch* b : idx.entries_inorder()) {
+      if (b->queue_pos() >= q.size() || q[b->queue_pos()].get() != b) {
+        issues.push_back(str_format("%s: index entry not in queue",
+                                    to_string(kind)));
+      }
+    }
+    for (const std::string& issue : idx.check_invariants()) {
+      issues.push_back(str_format("%s index: %s", to_string(kind), issue.c_str()));
     }
   }
   const auto& wq = queue(AlarmKind::kWakeup);

@@ -15,7 +15,16 @@ void Batch::add(Alarm* a) {
   SIMTY_CHECK(a != nullptr);
   SIMTY_CHECK_MSG(!contains(a->id()), "alarm already in batch");
   members_.push_back(a);
-  refresh();
+  if (members_.size() == 1) {
+    window_ = a->window_interval();
+    grace_ = a->grace_interval();
+  } else {
+    window_ = window_.intersect(a->window_interval());
+    grace_ = grace_.intersect(a->grace_interval());
+  }
+  hardware_ |= a->hardware();
+  perceptible_ = perceptible_ || a->perceptible();
+  expected_hold_ = std::max(expected_hold_, a->expected_hold());
 }
 
 bool Batch::remove(AlarmId id) {

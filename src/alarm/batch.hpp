@@ -25,7 +25,10 @@ class Batch {
 
   explicit Batch(Alarm* first);
 
-  /// Adds a member and refreshes the cached attributes.
+  /// Adds a member and folds it into the cached attributes incrementally:
+  /// interval intersection, hardware-set union, perceptibility OR, and
+  /// expected-hold max are all monotone under member addition, so no member
+  /// iteration is needed (O(1) modulo the duplicate-membership check).
   void add(Alarm* a);
 
   /// Removes a member by id; returns false if absent.
@@ -57,8 +60,15 @@ class Batch {
   Duration expected_hold() const { return expected_hold_; }
 
   /// Recomputes cached attributes from the members (call after member
-  /// alarms are rescheduled or re-profiled).
+  /// alarms are rescheduled or re-profiled; removal also rebuilds, since
+  /// the aggregates are not invertible).
   void refresh();
+
+  /// Current position in the owning queue, maintained by AlarmManager so
+  /// BatchIndex query results can be ordered by queue position without a
+  /// per-query search. Meaningless for batches outside a queue.
+  std::size_t queue_pos() const { return queue_pos_; }
+  void set_queue_pos(std::size_t pos) { queue_pos_ = pos; }
 
  private:
   std::vector<Alarm*> members_;
@@ -67,6 +77,7 @@ class Batch {
   hw::ComponentSet hardware_;
   bool perceptible_ = false;
   Duration expected_hold_ = Duration::zero();
+  std::size_t queue_pos_ = 0;
 };
 
 }  // namespace simty::alarm

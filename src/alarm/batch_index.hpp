@@ -1,0 +1,110 @@
+#pragma once
+// BatchIndex: an incrementally maintained interval index over the batch
+// queue's entry intervals.
+//
+// The paper's search phase (§3.2.1) is an interval-overlap query: NATIVE
+// joins an entry iff the entry's window overlap intersects the new alarm's
+// window (§2.1), and SIMTY's applicability requires window-or-grace
+// overlap. A full queue scan answers that in O(n) per insert — O(n²) across
+// a dissolve or rebatch — which caps scaling well below the "hundreds of
+// resident apps" target. This index answers it in O(log n + k) for k
+// overlapping entries.
+//
+// Structure: an augmented treap (randomized BST; deterministic splitmix64
+// priorities seeded by an insertion counter, so runs are bit-reproducible)
+// keyed by (grace start, insertion seq), with each node carrying the max
+// grace end in its subtree. Keying on the grace interval suffices for both
+// query kinds: a batch's window overlap is contained in its grace overlap
+// (every member's window is inside its grace, §3.1.2, and intersection
+// preserves containment), so grace overlap is a superset of window overlap
+// and kWindow queries just post-filter with the entry's cached window.
+//
+// Results are emitted in ascending queue position (each Batch carries its
+// position, maintained by the AlarmManager) so the policies' first-found-
+// wins tie-breaking is bit-identical to the linear scan they replace.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alarm/batch.hpp"
+#include "alarm/policy.hpp"
+#include "common/interval.hpp"
+
+namespace simty::alarm {
+
+/// Interval index over one batch queue. Holds non-owning pointers; the
+/// owner must erase entries before destroying or mutating their intervals
+/// (mutate via update()).
+class BatchIndex {
+ public:
+  BatchIndex() = default;
+
+  std::size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+
+  /// Drops every entry (the rebatch-all path).
+  void clear();
+
+  /// Indexes `batch` under its current grace interval, which must be
+  /// non-empty (a queue invariant the manager asserts).
+  void insert(const Batch* batch);
+
+  /// Removes `batch`; it must be indexed.
+  void erase(const Batch* batch);
+
+  /// Re-keys `batch` after its intervals changed (a member joined).
+  void update(const Batch* batch);
+
+  /// Appends the queue positions of every indexed entry whose `kind`
+  /// interval overlaps `interval`, in ascending queue position. O(log n + k)
+  /// expected: the treap prunes subtrees whose max grace end precedes the
+  /// query and subtrees whose keys start after it. An empty query interval
+  /// overlaps nothing.
+  void collect(const TimeInterval& interval, EntryIntervalKind kind,
+               std::vector<std::size_t>& out) const;
+
+  /// Every indexed batch in key order — for invariant audits only.
+  std::vector<const Batch*> entries_inorder() const;
+
+  /// Verifies internal invariants (BST order, heap order, max-end
+  /// augmentation, slot bookkeeping); returns human-readable violations.
+  std::vector<std::string> check_invariants() const;
+
+ private:
+  struct Node {
+    std::int64_t start_us = 0;    // grace interval start
+    std::int64_t end_us = 0;      // grace interval end
+    std::int64_t max_end_us = 0;  // max end over this subtree
+    std::uint64_t seq = 0;        // insertion counter: deterministic tie-break
+    std::uint64_t prio = 0;       // deterministic treap priority
+    const Batch* batch = nullptr;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  /// True when node `a`'s key precedes node `b`'s.
+  bool key_less(const Node& a, const Node& b) const {
+    return a.start_us < b.start_us ||
+           (a.start_us == b.start_us && a.seq < b.seq);
+  }
+
+  void pull(std::int32_t t);
+  std::int32_t rotate_left(std::int32_t t);
+  std::int32_t rotate_right(std::int32_t t);
+  std::int32_t insert_node(std::int32_t t, std::int32_t n);
+  std::int32_t erase_node(std::int32_t t, const Node& victim);
+  void collect_node(std::int32_t t, std::int64_t qs, std::int64_t qe,
+                    const TimeInterval& interval, EntryIntervalKind kind,
+                    std::vector<std::size_t>& out) const;
+
+  std::vector<Node> nodes_;          // slab; free slots recycled
+  std::vector<std::int32_t> free_;   // recyclable slots
+  std::int32_t root_ = -1;
+  std::uint64_t next_seq_ = 1;
+  /// Erase lookup only — never iterated, so the pointer ordering cannot
+  /// leak into any deterministic result.
+  std::map<const Batch*, std::int32_t> slots_;
+};
+
+}  // namespace simty::alarm

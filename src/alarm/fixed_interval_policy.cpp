@@ -19,19 +19,50 @@ std::int64_t FixedIntervalPolicy::slot_of(TimePoint t) const {
   return t.us() / interval_.us();
 }
 
+bool FixedIntervalPolicy::joinable(std::int64_t slot, const TimeInterval& window,
+                                   const TimeInterval& grace,
+                                   bool alarm_perceptible,
+                                   const Batch& entry) const {
+  if (slot_of(entry.delivery_time()) != slot) return false;
+  // Guard rails: never break the delivery guarantees while batching within
+  // the slot.
+  const SimilarityLevel time = time_similarity(
+      window, grace, entry.window_interval(), entry.grace_interval());
+  return is_applicable(time, alarm_perceptible, entry.perceptible());
+}
+
 std::optional<std::size_t> FixedIntervalPolicy::select_batch(
     const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue) const {
   const std::int64_t slot = slot_of(alarm.nominal());
   const TimeInterval window = alarm.window_interval();
   const TimeInterval grace = alarm.grace_interval();
+  const bool alarm_perceptible = alarm.perceptible();
+  // Linear reference implementation, differentially checked against the
+  // indexed candidate path under slow queue checks.
+  // simty-lint: allow(queue-scan)
   for (std::size_t i = 0; i < queue.size(); ++i) {
-    const Batch& entry = *queue[i];
-    if (slot_of(entry.delivery_time()) != slot) continue;
-    // Guard rails: never break the delivery guarantees while batching
-    // within the slot.
-    const SimilarityLevel time = time_similarity(
-        window, grace, entry.window_interval(), entry.grace_interval());
-    if (is_applicable(time, alarm.perceptible(), entry.perceptible())) return i;
+    if (joinable(slot, window, grace, alarm_perceptible, *queue[i])) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<CandidateQuery> FixedIntervalPolicy::candidate_query(
+    const Alarm& alarm) const {
+  // Applicability requires at least grace overlap, so grace-overlap
+  // candidates are a superset of the joinable set; select_among re-filters
+  // by slot and applicability.
+  return CandidateQuery{alarm.grace_interval(), EntryIntervalKind::kGrace};
+}
+
+std::optional<std::size_t> FixedIntervalPolicy::select_among(
+    const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue,
+    const std::vector<std::size_t>& candidates) const {
+  const std::int64_t slot = slot_of(alarm.nominal());
+  const TimeInterval window = alarm.window_interval();
+  const TimeInterval grace = alarm.grace_interval();
+  const bool alarm_perceptible = alarm.perceptible();
+  for (const std::size_t i : candidates) {
+    if (joinable(slot, window, grace, alarm_perceptible, *queue[i])) return i;
   }
   return std::nullopt;
 }

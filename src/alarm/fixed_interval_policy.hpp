@@ -17,6 +17,10 @@
 namespace simty::alarm {
 
 /// Slot-quantized alignment with a configurable interval.
+///
+/// Indexed path: the applicability guard rail requires grace overlap, so
+/// grace-overlap candidates are a superset of the joinable set; selection
+/// re-applies the slot and applicability checks over candidates only.
 class FixedIntervalPolicy : public AlignmentPolicy {
  public:
   explicit FixedIntervalPolicy(Duration interval);
@@ -29,8 +33,21 @@ class FixedIntervalPolicy : public AlignmentPolicy {
       const Alarm& alarm,
       const std::vector<std::unique_ptr<Batch>>& queue) const override;
 
+  std::optional<CandidateQuery> candidate_query(
+      const Alarm& alarm) const override;
+
+  std::optional<std::size_t> select_among(
+      const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue,
+      const std::vector<std::size_t>& candidates) const override;
+
  private:
   std::int64_t slot_of(TimePoint t) const;
+
+  /// The join condition: same slot as the alarm's nominal, and applicable
+  /// per the §3.2.1 guard rails.
+  bool joinable(std::int64_t slot, const TimeInterval& window,
+                const TimeInterval& grace, bool alarm_perceptible,
+                const Batch& entry) const;
 
   Duration interval_;
 };

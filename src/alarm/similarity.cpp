@@ -78,6 +78,20 @@ SimilarityLevel time_similarity(const TimeInterval& window_a,
   return SimilarityLevel::kLow;
 }
 
+SimilarityLevel time_similarity(const TimeInterval& window_a,
+                                const TimeInterval& grace_a,
+                                const TimeInterval& window_b,
+                                const TimeInterval& grace_b,
+                                const SimilarityConfig& config) {
+  const SimilarityLevel time =
+      time_similarity(window_a, grace_a, window_b, grace_b);
+  if (config.time_mode == TimeSimilarityMode::kWindowOnly &&
+      time == SimilarityLevel::kMedium) {
+    return SimilarityLevel::kLow;  // no grace credit in window-only mode
+  }
+  return time;
+}
+
 bool is_applicable(SimilarityLevel time, bool alarm_perceptible,
                    bool entry_perceptible) {
   if (alarm_perceptible || entry_perceptible) {

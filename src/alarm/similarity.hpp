@@ -76,6 +76,17 @@ SimilarityLevel time_similarity(const TimeInterval& window_a,
                                 const TimeInterval& window_b,
                                 const TimeInterval& grace_b);
 
+/// Time similarity under the configured granularity. The paper's three-level
+/// classification is the default; in kWindowOnly mode a grace-only overlap
+/// earns no credit, so Medium demotes to Low. This is the single home of
+/// that demotion — the SIMTY policy and the similarity-ablation bench both
+/// go through it, so they cannot diverge.
+SimilarityLevel time_similarity(const TimeInterval& window_a,
+                                const TimeInterval& grace_a,
+                                const TimeInterval& window_b,
+                                const TimeInterval& grace_b,
+                                const SimilarityConfig& config);
+
 /// Applicability rule of the search phase (§3.2.1): when either party is
 /// perceptible only High time similarity qualifies; between imperceptible
 /// parties Medium also qualifies.
@@ -88,5 +99,10 @@ bool is_applicable(SimilarityLevel time, bool alarm_perceptible,
 /// numbering exactly. Callers must only pass applicable (non-Low) time
 /// levels — Low maps to the table's "infinity" and throws here.
 int preferability_rank(int hw_grade, SimilarityLevel time);
+
+/// Table 1's global minimum — rank of a High/High match
+/// (preferability_rank(0, kHigh)). A selection scan that finds this rank
+/// cannot be beaten by any later candidate.
+inline constexpr int kBestPreferabilityRank = 1;
 
 }  // namespace simty::alarm

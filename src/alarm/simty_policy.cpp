@@ -4,6 +4,19 @@ namespace simty::alarm {
 
 SimtyPolicy::SimtyPolicy(SimilarityConfig config) : config_(config) {}
 
+int SimtyPolicy::rank_of(const TimeInterval& window, const TimeInterval& grace,
+                         bool alarm_perceptible, const Alarm& alarm,
+                         const Batch& entry) const {
+  // Search phase: applicability in terms of user experience (§3.2.1).
+  const SimilarityLevel time = time_similarity(
+      window, grace, entry.window_interval(), entry.grace_interval(), config_);
+  if (!is_applicable(time, alarm_perceptible, entry.perceptible())) return -1;
+
+  // Selection phase: Table 1 preferability, hardware similarity first.
+  const int hw_grade = hardware_grade(alarm.hardware(), entry.hardware(), config_);
+  return preferability_rank(hw_grade, time);
+}
+
 std::optional<std::size_t> SimtyPolicy::select_batch(
     const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue) const {
   const TimeInterval window = alarm.window_interval();
@@ -13,26 +26,52 @@ std::optional<std::size_t> SimtyPolicy::select_batch(
   std::optional<std::size_t> best;
   int best_rank = 0;
 
+  // Linear reference implementation, differentially checked against the
+  // indexed candidate path under slow queue checks.
+  // simty-lint: allow(queue-scan)
   for (std::size_t i = 0; i < queue.size(); ++i) {
-    const Batch& entry = *queue[i];
-
-    // Search phase: applicability in terms of user experience (§3.2.1).
-    SimilarityLevel time = time_similarity(
-        window, grace, entry.window_interval(), entry.grace_interval());
-    if (config_.time_mode == TimeSimilarityMode::kWindowOnly &&
-        time == SimilarityLevel::kMedium) {
-      time = SimilarityLevel::kLow;  // no grace credit in window-only mode
-    }
-    if (!is_applicable(time, alarm_perceptible, entry.perceptible())) continue;
-
-    // Selection phase: Table 1 preferability, hardware similarity first.
-    const int hw_grade = hardware_grade(alarm.hardware(), entry.hardware(), config_);
-    const int rank = preferability_rank(hw_grade, time);
-
+    const int rank = rank_of(window, grace, alarm_perceptible, alarm, *queue[i]);
+    if (rank < 0) continue;
     if (!best || rank < best_rank ||
-        (rank == best_rank && prefers_over(alarm, entry, *queue[*best]))) {
+        (rank == best_rank && prefers_over(alarm, *queue[i], *queue[*best]))) {
       best = i;
       best_rank = rank;
+    }
+  }
+  return best;
+}
+
+std::optional<CandidateQuery> SimtyPolicy::candidate_query(
+    const Alarm& alarm) const {
+  // Applicability needs non-Low time similarity, i.e. at least grace
+  // overlap; High (window overlap) implies it because windows are contained
+  // in graces. So grace overlap is exactly the candidate condition —
+  // kWindowOnly mode only shrinks applicability further, keeping the query
+  // a superset.
+  return CandidateQuery{alarm.grace_interval(), EntryIntervalKind::kGrace};
+}
+
+std::optional<std::size_t> SimtyPolicy::select_among(
+    const Alarm& alarm, const std::vector<std::unique_ptr<Batch>>& queue,
+    const std::vector<std::size_t>& candidates) const {
+  const TimeInterval window = alarm.window_interval();
+  const TimeInterval grace = alarm.grace_interval();
+  const bool alarm_perceptible = alarm.perceptible();
+
+  std::optional<std::size_t> best;
+  int best_rank = 0;
+
+  for (const std::size_t i : candidates) {
+    const int rank = rank_of(window, grace, alarm_perceptible, alarm, *queue[i]);
+    if (rank < 0) continue;
+    if (!best || rank < best_rank ||
+        (rank == best_rank && prefers_over(alarm, *queue[i], *queue[*best]))) {
+      best = i;
+      best_rank = rank;
+      // Rank 1 (High/High) is Table 1's minimum; without a tie preference a
+      // later equal-rank candidate loses first-found-wins, so nothing ahead
+      // can displace this entry.
+      if (best_rank == kBestPreferabilityRank && !has_tie_preference()) break;
     }
   }
   return best;

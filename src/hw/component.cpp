@@ -85,11 +85,8 @@ ComponentSet& ComponentSet::operator|=(ComponentSet o) {
   return *this;
 }
 
-bool ComponentSet::any_perceptible() const {
-  for (const Component c : components()) {
-    if (is_user_perceptible(c)) return true;
-  }
-  return false;
+std::size_t ComponentSet::shared_count(ComponentSet o) const {
+  return static_cast<std::size_t>(std::popcount(bits_ & o.bits_));
 }
 
 std::vector<Component> ComponentSet::components() const {

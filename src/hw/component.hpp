@@ -39,6 +39,14 @@ std::optional<Component> component_from_string(std::string_view name);
 /// vibrator) — the basis of alarm perceptibility (paper §3.1.2).
 bool is_user_perceptible(Component c);
 
+/// Bitmask of the user-perceptible components, for branch-free perceptibility
+/// tests on ComponentSet bitmasks.
+constexpr std::uint32_t perceptible_mask() {
+  return (1u << static_cast<std::uint8_t>(Component::kSpeaker)) |
+         (1u << static_cast<std::uint8_t>(Component::kVibrator)) |
+         (1u << static_cast<std::uint8_t>(Component::kScreen));
+}
+
 /// A set of hardware components, stored as a bitmask.
 class ComponentSet {
  public:
@@ -67,8 +75,13 @@ class ComponentSet {
   /// True when the two sets share at least one component.
   bool intersects(ComponentSet o) const { return (bits_ & o.bits_) != 0; }
 
-  /// True when this set contains any user-perceptible component.
-  bool any_perceptible() const;
+  /// Number of components shared with `o` (popcount on the bitmask
+  /// intersection; no member iteration).
+  std::size_t shared_count(ComponentSet o) const;
+
+  /// True when this set contains any user-perceptible component. A single
+  /// mask test — the hot path of alarm/entry perceptibility.
+  bool any_perceptible() const { return (bits_ & perceptible_mask()) != 0; }
 
   /// Members in enum order.
   std::vector<Component> components() const;
