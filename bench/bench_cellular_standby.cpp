@@ -20,7 +20,7 @@
 #include "hw/power_bus.hpp"
 #include "hw/rtc.hpp"
 #include "hw/wakelock.hpp"
-#include "net/rrc.hpp"
+#include "net/cellular.hpp"
 #include "power/energy_accounting.hpp"
 #include "sim/simulator.hpp"
 
@@ -48,35 +48,23 @@ Outcome run_cellular(std::unique_ptr<alarm::AlignmentPolicy> policy,
   hw::Rtc rtc(sim, device);
   hw::WakelockManager wakelocks(sim, model, bus);
   alarm::AlarmManager manager(sim, device, rtc, wakelocks, std::move(policy));
-  net::RrcMachine rrc(sim, net::RrcConfig{}, bus);
+  net::CellularStandby standby(sim, manager, bus);
 
-  Rng rng(seed, 0x363);
-  std::uint32_t app_seq = 1;
+  std::vector<net::CellularSyncSpec> specs;
   for (const apps::AppProfile& p : apps::light_workload_profiles()) {
     if (!p.hardware.contains(hw::Component::kWifi)) continue;  // messengers only
-    const Duration hold = p.base_hold;
-    const double jitter = p.hold_jitter;
-    auto app_rng = std::make_shared<Rng>(rng.fork(app_seq));
-    manager.register_alarm(
-        alarm::AlarmSpec::repeating(p.name + ".cell", alarm::AppId{app_seq}, p.mode,
-                                    p.repeat, p.alpha, 0.96),
-        TimePoint::origin() + Duration::seconds(5 + app_seq * 7) + p.repeat,
-        [&rrc, hold, jitter, app_rng](const alarm::Alarm&, TimePoint) {
-          const Duration h =
-              hold * app_rng->uniform(1.0 - jitter, 1.0 + jitter);
-          rrc.data_activity(h);
-          // CPU-only task spec: the radio rail is billed by the RRC machine.
-          return alarm::TaskSpec{hw::ComponentSet::none(), h};
-        });
-    ++app_seq;
+    specs.push_back(net::CellularSyncSpec{p.name, p.mode, p.repeat, p.alpha,
+                                          p.base_hold, p.hold_jitter});
   }
+  standby.deploy(specs, Rng(seed, 0x363), 0.96);
 
   const TimePoint horizon = TimePoint::origin() + Duration::hours(3);
   sim.run_until(horizon);
   device.finalize(horizon);
   wakelocks.finalize(horizon);
-  rrc.finalize(horizon);
+  standby.finalize(horizon);
   accountant.finalize(horizon);
+  const net::RrcMachine& rrc = standby.rrc();
   return Outcome{accountant.breakdown().total().joules_f(),
                  static_cast<double>(rrc.idle_promotions() + rrc.fach_promotions()),
                  rrc.time_in(net::RrcState::kDch).seconds_f()};

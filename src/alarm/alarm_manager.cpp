@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::alarm {
 
@@ -82,6 +83,8 @@ void AlarmManager::rebatch_all() {
     return x->nominal() < y->nominal();
   });
   ++stats_.realignments;
+  SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kAlarm, "rebatch-all",
+                      static_cast<std::int64_t>(alarms.size()));
   for (Alarm* a : alarms) insert(a);
   reprogram_rtc();
   schedule_nonwakeup_check();
@@ -137,6 +140,8 @@ std::optional<std::size_t> AlarmManager::select_entry(const Alarm& a,
 
   candidates_.clear();
   index_ref(kind).collect(query->interval, query->entry_kind, candidates_);
+  SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kAlarm, "batch-candidates",
+                      static_cast<std::int64_t>(candidates_.size()));
   const std::optional<std::size_t> chosen =
       policy_->select_among(a, q, candidates_);
 
@@ -172,6 +177,8 @@ void AlarmManager::insert(Alarm* a) {
     q[*slot]->add(a);
     SIMTY_CHECK_MSG(!q[*slot]->grace_interval().is_empty(),
                     "policy joined an entry with no grace overlap");
+    SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kAlarm, "batch-join",
+                        static_cast<std::int64_t>(q[*slot]->size()));
     idx.insert(q[*slot].get());
     reposition(q, *slot);
   } else {
@@ -188,6 +195,8 @@ void AlarmManager::insert(Alarm* a) {
     // Position stamps ride on the O(shift) the vector insert already paid.
     renumber(q, at, q.size());
     idx.insert(q[at].get());
+    SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kAlarm, "batch-create",
+                        static_cast<std::int64_t>(q.size()));
   }
   if (slow_queue_checks_) sort_queue(a->spec().kind);
   if (a->spec().kind == AlarmKind::kWakeup) {
@@ -215,6 +224,8 @@ bool AlarmManager::remove_from_queue(AlarmId id) {
     batch->remove(id);
     if (!batch->empty()) {
       ++stats_.realignments;
+      SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kAlarm, "batch-split",
+                          static_cast<std::int64_t>(batch->size()));
       std::vector<Alarm*> members = batch->members();
       std::sort(members.begin(), members.end(), [](const Alarm* x, const Alarm* y) {
         return x->nominal() < y->nominal();
@@ -337,6 +348,8 @@ void AlarmManager::deliver_batch(std::unique_ptr<Batch> batch) {
   SIMTY_CHECK(device_.state() == hw::DeviceState::kAwake);
   const TimePoint now = sim_.now();
   ++stats_.batches_delivered;
+  SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kAlarm, "batch-deliver",
+                      static_cast<std::int64_t>(batch->size()));
 
   // The framework holds a CPU wakelock for the whole joint session.
   device_.acquire_cpu_lock();

@@ -175,10 +175,22 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       plan.csv_path = *v;
       continue;
     }
+    if (arg == "--delivery-log") {
+      const auto v = value();
+      if (!v) return fail("--delivery-log needs a path");
+      plan.delivery_log_path = *v;
+      continue;
+    }
     if (arg == "--trace") {
       const auto v = value();
       if (!v) return fail("--trace needs a path");
       plan.trace_path = *v;
+      continue;
+    }
+    if (arg == "--trace-json") {
+      const auto v = value();
+      if (!v) return fail("--trace-json needs a path");
+      plan.trace_json_path = *v;
       continue;
     }
     if (arg == "--waveform") {
@@ -214,8 +226,11 @@ std::string usage() {
       "  --doze               enable AOSP-M-style doze maintenance windows\n"
       "  --hw-levels 2|3|4    hardware-similarity granularity (default 3)\n"
       "  --csv PATH           write per-policy results CSV\n"
-      "  --trace PATH         write the delivery log of the last run\n"
+      "  --delivery-log PATH  write the delivery log of the last run\n"
       "  --waveform PATH      write the power waveform of the last run\n"
+      "  --trace PATH         write the last policy's base-seed run as a\n"
+      "                       binary trace (compare with tools/trace_diff)\n"
+      "  --trace-json PATH    same run as Chrome trace JSON (Perfetto)\n"
       "  --help               this text\n";
 }
 

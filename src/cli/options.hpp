@@ -22,8 +22,10 @@ struct RunPlan {
   int repetitions = 3;
   int jobs = 1;                              // parallel workers for repetitions
   std::optional<std::string> csv_path;       // write results CSV here
-  std::optional<std::string> trace_path;     // write a delivery log here
+  std::optional<std::string> delivery_log_path;  // write a delivery log here
   std::optional<std::string> waveform_path;  // write the power waveform here
+  std::optional<std::string> trace_path;       // write a binary run trace here
+  std::optional<std::string> trace_json_path;  // write a Chrome JSON trace here
   bool show_help = false;
 };
 
@@ -49,8 +51,11 @@ struct ParseResult {
 ///   --no-system-alarms
 ///   --hw-levels 2|3|4  hardware-similarity granularity
 ///   --csv PATH         write per-column results CSV
-///   --trace PATH       write the delivery log of the LAST run
+///   --delivery-log PATH  write the delivery log of the LAST run
 ///   --waveform PATH    write the power waveform of the LAST run
+///   --trace PATH       write the binary run trace of the LAST policy's
+///                      base-seed run (compare with tools/trace_diff)
+///   --trace-json PATH  same run as Chrome trace-event JSON (Perfetto)
 ///   --help
 ParseResult parse_args(const std::vector<std::string>& args);
 

@@ -21,6 +21,7 @@
 #include "metrics/wakeup_breakdown.hpp"
 #include "power/monitor.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::exp {
 
@@ -75,6 +76,11 @@ apps::Workload make_workload(const ExperimentConfig& config) {
 }  // namespace
 
 RunResult run_experiment(const ExperimentConfig& config) {
+  // Thread-local install: on the parallel path only the worker running this
+  // config records, so the trace content is identical to a serial run.
+  const trace::TraceScope trace_scope(config.tracer);
+  SIMTY_TRACE_SPAN_BEGIN(TimePoint::origin(), trace::TraceCategory::kExp, "run",
+                         static_cast<std::int64_t>(config.seed));
   sim::Simulator sim;
   hw::PowerBus bus;
   power::EnergyAccountant accountant;
@@ -137,6 +143,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
   wakelocks.finalize(horizon);
   accountant.finalize(horizon);
   monitor.finalize(horizon);
+  SIMTY_TRACE_SPAN_END(horizon, trace::TraceCategory::kExp, "run",
+                       static_cast<std::int64_t>(config.seed));
 
   RunResult r;
   r.policy_name = manager.policy().name();
@@ -248,6 +256,9 @@ std::vector<ExperimentConfig> seeded_configs(const ExperimentConfig& config,
   for (int i = 0; i < repetitions; ++i) {
     configs[static_cast<std::size_t>(i)].seed =
         config.seed + static_cast<std::uint64_t>(i);
+    // One tracer records one run: keep it on the base seed only, so the
+    // capture is identical whether the sweep runs serially or in parallel.
+    if (i > 0) configs[static_cast<std::size_t>(i)].tracer = nullptr;
   }
   return configs;
 }

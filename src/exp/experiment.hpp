@@ -20,6 +20,10 @@
 #include "common/units.hpp"
 #include "power/energy_accounting.hpp"
 
+namespace simty::trace {
+class Tracer;
+}
+
 namespace simty::exp {
 
 /// Which alignment policy to run.
@@ -59,6 +63,14 @@ struct ExperimentConfig {
   /// Optional extra power-bus listener (e.g. a caller-owned PowerMonitor
   /// capturing the waveform). Must outlive the run.
   hw::PowerListener* extra_power_listener = nullptr;
+
+  /// Optional structured run tracer (see trace/tracer.hpp). Unlike the
+  /// observer hooks above it does NOT force the serial path: the tracer is
+  /// installed thread-locally inside the one run that carries it, and
+  /// run_repeated keeps it on the base seed only — which is exactly what
+  /// makes serial-vs-parallel trace comparison a meaningful determinism
+  /// check. Must outlive the run; not thread-safe across runs.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// All metrics of one run (or the mean over several runs; counts become

@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::hw {
 
@@ -78,12 +79,16 @@ void Device::acquire_cpu_lock() {
   SIMTY_CHECK_MSG(state_ == DeviceState::kAwake,
                   "cpu wakelock acquired while not awake");
   ++cpu_locks_;
+  SIMTY_TRACE_COUNTER(sim_.now(), trace::TraceCategory::kHw, "cpu-locks",
+                      static_cast<std::int64_t>(cpu_locks_));
   disarm_sleep_timer();
 }
 
 void Device::release_cpu_lock() {
   SIMTY_CHECK_MSG(cpu_locks_ > 0, "cpu wakelock underflow");
   --cpu_locks_;
+  SIMTY_TRACE_COUNTER(sim_.now(), trace::TraceCategory::kHw, "cpu-locks",
+                      static_cast<std::int64_t>(cpu_locks_));
   if (cpu_locks_ == 0 && state_ == DeviceState::kAwake) arm_sleep_timer();
 }
 
@@ -115,6 +120,8 @@ void Device::enter_state(DeviceState next) {
   time_in_state_[static_cast<std::size_t>(state_)] += now - state_since_;
   state_since_ = now;
   state_ = next;
+  SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kHw, "device-state",
+                      static_cast<std::int64_t>(state_));
   bus_.publish_device_state(now, state_, base_level_for(model_, state_));
   SIMTY_DEBUG(str_format("device -> %s at %.3fs", hw::to_string(state_),
                          now.seconds_f()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::hw {
 
@@ -30,12 +31,16 @@ WakelockId WakelockManager::acquire(Component c, std::string holder) {
       usage_[idx].tail_time += now - tail_since_[idx];
       ++usage_[idx].warm_starts;
       bus_.publish_component_power(now, c, true, p.active);
+      SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kHw, "component-warm-start",
+                          static_cast<std::int64_t>(idx));
     } else {
       // Cold start: pay activation, count a cycle.
       ++usage_[idx].cycles;
       bus_.publish_impulse(now, p.activation, ImpulseKind::kComponentActivation,
                            to_string(c));
       bus_.publish_component_power(now, c, true, p.active);
+      SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kHw, "component-cold-start",
+                          static_cast<std::int64_t>(idx));
     }
     on_since_[idx] = now;
   }
@@ -80,10 +85,14 @@ void WakelockManager::release(WakelockId id) {
     const Duration tail = effective_tail(c);
     if (tail.is_zero()) {
       bus_.publish_component_power(now, c, false, Power::zero());
+      SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kHw, "component-off",
+                          static_cast<std::int64_t>(idx));
       return;
     }
     // Enter the tail: lingering high-power state until the timer fires or
     // a warm re-acquisition cancels it.
+    SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kHw, "component-tail",
+                        static_cast<std::int64_t>(idx));
     tail_since_[idx] = now;
     bus_.publish_component_power(now, c, true, model_.component(c).tail_power);
     tail_event_[idx] = sim_.schedule_at(
@@ -97,6 +106,8 @@ void WakelockManager::end_tail(std::size_t idx) {
   usage_[idx].tail_time += sim_.now() - tail_since_[idx];
   bus_.publish_component_power(sim_.now(), static_cast<Component>(idx), false,
                                Power::zero());
+  SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kHw, "component-off",
+                      static_cast<std::int64_t>(idx));
 }
 
 bool WakelockManager::is_on(Component c) const {

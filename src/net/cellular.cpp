@@ -1,0 +1,49 @@
+#include "net/cellular.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace simty::net {
+
+CellularStandby::CellularStandby(sim::Simulator& sim, alarm::AlarmManager& manager,
+                                 hw::PowerBus& bus, RrcConfig config)
+    : manager_(manager), rrc_(sim, config, bus) {}
+
+void CellularStandby::deploy(const std::vector<CellularSyncSpec>& specs, Rng rng,
+                             double beta) {
+  SIMTY_CHECK_MSG(!finalized_, "CellularStandby::deploy after finalize");
+  std::uint32_t app_seq = 1;
+  for (const CellularSyncSpec& spec : specs) {
+    // Per-app child stream: the draw sequence of one app is independent of
+    // how many deliveries the others make.
+    auto app_rng = std::make_shared<Rng>(rng.fork(app_seq));
+    const Duration hold = spec.hold;
+    const double jitter = spec.hold_jitter;
+    RrcMachine* rrc = &rrc_;
+    manager_.register_alarm(
+        alarm::AlarmSpec::repeating(spec.name + ".cell", alarm::AppId{app_seq},
+                                    spec.mode, spec.repeat, spec.alpha, beta),
+        TimePoint::origin() + Duration::seconds(5 + app_seq * 7) + spec.repeat,
+        [rrc, hold, jitter, app_rng](const alarm::Alarm&, TimePoint) {
+          const Duration h = hold * app_rng->uniform(1.0 - jitter, 1.0 + jitter);
+          rrc->data_activity(h);
+          // CPU-only task spec: the radio rail is billed by the RRC machine.
+          return alarm::TaskSpec{hw::ComponentSet::none(), h};
+        });
+    ++app_seq;
+  }
+}
+
+void CellularStandby::finalize(TimePoint horizon) {
+  // time_in() spans are only complete after this flush; skipping it drops
+  // the open DCH/FACH span from the accounting.
+  rrc_.finalize(horizon);
+  finalized_ = true;
+  SIMTY_TRACE_INSTANT(horizon, trace::TraceCategory::kNet, "cellular-finalize",
+                      static_cast<std::int64_t>(rrc_.idle_promotions() +
+                                                rrc_.fach_promotions()));
+}
+
+}  // namespace simty::net

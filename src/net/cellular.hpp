@@ -1,0 +1,64 @@
+#pragma once
+// Cellular connected-standby harness: the glue that gives the RRC machine
+// an owner with a lifecycle. It registers repeating ".cell" sync alarms
+// whose handlers drive data_activity(), and — crucially — it owns teardown:
+// finalize(horizon) flushes the RRC machine's open DCH/FACH span into
+// time_in(). A caller that wires RrcMachine by hand and forgets finalize()
+// silently under-accounts the final span (and with it the per-state energy
+// attribution), so every cellular workload should run through this harness
+// rather than poking the machine directly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alarm/alarm_manager.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/rrc.hpp"
+
+namespace simty::net {
+
+/// One repeating cellular sync: the alarm attributes plus the data-activity
+/// behaviour its delivery handler drives through the RRC machine.
+struct CellularSyncSpec {
+  std::string name;
+  alarm::RepeatMode mode = alarm::RepeatMode::kStatic;
+  Duration repeat = Duration::seconds(300);
+  double alpha = 0.0;              // window fraction of the repeat interval
+  Duration hold = Duration::seconds(2);  // nominal data-activity duration
+  double hold_jitter = 0.0;        // +/- fraction of hold, drawn per delivery
+};
+
+/// Owns an RrcMachine and the sync alarms that drive it; see file comment.
+class CellularStandby {
+ public:
+  CellularStandby(sim::Simulator& sim, alarm::AlarmManager& manager,
+                  hw::PowerBus& bus, RrcConfig config = RrcConfig{});
+
+  CellularStandby(const CellularStandby&) = delete;
+  CellularStandby& operator=(const CellularStandby&) = delete;
+
+  /// Registers one repeating ".cell" alarm per spec (app ids 1, 2, ... in
+  /// spec order; first nominal staggered per app). Each spec's hold jitter
+  /// draws from a stream forked off `rng` per app, so deployments are a
+  /// pure function of the rng seed.
+  void deploy(const std::vector<CellularSyncSpec>& specs, Rng rng, double beta);
+
+  /// Flushes the RRC machine's open state span at the horizon. Must be
+  /// called after the sim reaches the horizon and before reading
+  /// rrc().time_in(); idempotent at a fixed horizon.
+  void finalize(TimePoint horizon);
+
+  bool finalized() const { return finalized_; }
+
+  RrcMachine& rrc() { return rrc_; }
+  const RrcMachine& rrc() const { return rrc_; }
+
+ private:
+  alarm::AlarmManager& manager_;
+  RrcMachine rrc_;
+  bool finalized_ = false;
+};
+
+}  // namespace simty::net

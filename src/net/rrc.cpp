@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::net {
 
@@ -51,6 +52,8 @@ void RrcMachine::enter(RrcState next) {
   time_in_[static_cast<std::size_t>(state_)] += now - state_since_;
   state_since_ = now;
   state_ = next;
+  SIMTY_TRACE_INSTANT(now, trace::TraceCategory::kNet, "rrc-state",
+                      static_cast<std::int64_t>(state_));
   switch (state_) {
     case RrcState::kDch:
       bus_.publish_component_power(now, hw::Component::kCellular, true, config_.dch);
@@ -89,6 +92,8 @@ Duration RrcMachine::time_in(RrcState s) const {
 }
 
 void RrcMachine::finalize(TimePoint now) {
+  SIMTY_CHECK_MSG(now >= state_since_,
+                  "RrcMachine::finalize: horizon before the open span start");
   time_in_[static_cast<std::size_t>(state_)] += now - state_since_;
   state_since_ = now;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::net {
 
@@ -52,6 +53,8 @@ void WifiLink::schedule_transition() {
         good_ = !good_;
         state_since_ = sim_.now();
         ++transitions_;
+        SIMTY_TRACE_INSTANT(sim_.now(), trace::TraceCategory::kNet,
+                            "wifi-link-quality", good_ ? 1 : 0);
         schedule_transition();
       },
       sim::EventPriority::kHardware, "wifi-link-transition");

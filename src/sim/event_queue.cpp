@@ -64,7 +64,8 @@ EventQueue::Fired EventQueue::pop() {
   SIMTY_CHECK_MSG(live_ > 0, "EventQueue::pop on empty queue");
   const std::uint32_t idx = heap_.front().slot;
   Slot& s = slab_[idx];
-  Fired fired{TimePoint::from_us(s.when_us), std::move(s.callback), s.label};
+  Fired fired{TimePoint::from_us(s.when_us), std::move(s.callback), s.label,
+              static_cast<EventPriority>(s.order >> 60)};
   release_slot(idx);
   heap_pop_root();
   --live_;

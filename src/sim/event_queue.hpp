@@ -79,6 +79,7 @@ class EventQueue {
     TimePoint when;
     EventFn callback;
     const char* label = "";
+    EventPriority priority = EventPriority::kFramework;
   };
   Fired pop();
 

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace simty::sim {
 
@@ -37,7 +38,13 @@ bool Simulator::step() {
   SIMTY_CHECK_MSG(fired.when >= now_, "Simulator: time went backwards");
   now_ = fired.when;
   ++events_processed_;
+  // Callbacks never advance now_ (only step() does), so the span closes at
+  // the fire time; nested sim activity shows up as the events it schedules.
+  SIMTY_TRACE_SPAN_BEGIN(now_, trace::TraceCategory::kSim, fired.label,
+                         static_cast<std::int64_t>(fired.priority));
   fired.callback();
+  SIMTY_TRACE_SPAN_END(now_, trace::TraceCategory::kSim, fired.label,
+                       static_cast<std::int64_t>(fired.priority));
   return true;
 }
 

@@ -31,6 +31,7 @@
 #include "hw/wakelock.hpp"        // IWYU pragma: export
 
 // Network substrates
+#include "net/cellular.hpp"       // IWYU pragma: export
 #include "net/rrc.hpp"            // IWYU pragma: export
 #include "net/wifi_link.hpp"      // IWYU pragma: export
 
@@ -63,6 +64,7 @@
 #include "apps/trace_replay.hpp"   // IWYU pragma: export
 #include "apps/workload.hpp"       // IWYU pragma: export
 #include "trace/delivery_log.hpp"  // IWYU pragma: export
+#include "trace/tracer.hpp"        // IWYU pragma: export
 
 // Metrics & experiments
 #include "exp/adaptive.hpp"           // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,6 +17,52 @@ namespace {
 constexpr const char* kHeader =
     "id,tag,app,kind,mode,repeat_us,nominal_us,delivered_us,window_start_us,"
     "window_end_us,perceptible,hardware,hold_us,batch_size";
+
+// Tags are app-controlled strings, and the CSV layer has three reserved
+// characters of its own: ',' (field separator), '|' (hardware-set
+// separator), and the newline (row separator). A raw tag containing any of
+// them shifts or corrupts the row on reload, so tags travel escaped:
+// '\\' '\c' '\p' '\n' '\r' for backslash, comma, pipe, LF, CR.
+std::string escape_tag(const std::string& tag) {
+  std::string out;
+  out.reserve(tag.size());
+  for (const char ch : tag) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case ',': out += "\\c"; break;
+      case '|': out += "\\p"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string unescape_tag(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const char ch = field[i];
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (++i == field.size()) {
+      throw std::runtime_error("DeliveryLog: dangling escape in tag: " + field);
+    }
+    switch (field[i]) {
+      case '\\': out += '\\'; break;
+      case 'c': out += ','; break;
+      case 'p': out += '|'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:
+        throw std::runtime_error("DeliveryLog: unknown escape in tag: " + field);
+    }
+  }
+  return out;
+}
 
 std::string hardware_names(hw::ComponentSet set) {
   std::vector<std::string> names;
@@ -49,6 +96,17 @@ std::int64_t parse_i64(const std::string& field) {
   }
 }
 
+/// parse_i64 for fields whose target type is unsigned: a negative value
+/// must error, not wrap through the cast.
+std::int64_t parse_nonneg(const std::string& field, const char* what) {
+  const std::int64_t v = parse_i64(field);
+  if (v < 0) {
+    throw std::runtime_error(std::string("DeliveryLog: negative ") + what + ": " +
+                             field);
+  }
+  return v;
+}
+
 alarm::AlarmKind parse_kind(const std::string& field) {
   if (field == "wakeup") return alarm::AlarmKind::kWakeup;
   if (field == "non-wakeup") return alarm::AlarmKind::kNonWakeup;
@@ -77,7 +135,8 @@ std::string DeliveryLog::to_csv() const {
   for (const alarm::DeliveryRecord& r : records_) {
     out += str_format(
         "%llu,%s,%u,%s,%s,%lld,%lld,%lld,%lld,%lld,%d,%s,%lld,%zu\n",
-        static_cast<unsigned long long>(r.id.value), r.tag.c_str(), r.app.value,
+        static_cast<unsigned long long>(r.id.value), escape_tag(r.tag).c_str(),
+        r.app.value,
         alarm::to_string(r.kind), alarm::to_string(r.mode),
         static_cast<long long>(r.repeat_interval.us()),
         static_cast<long long>(r.nominal.us()),
@@ -104,9 +163,13 @@ DeliveryLog DeliveryLog::from_csv(const std::string& csv) {
       throw std::runtime_error("DeliveryLog: bad row: " + line);
     }
     alarm::DeliveryRecord r;
-    r.id = alarm::AlarmId{static_cast<std::uint64_t>(parse_i64(f[0]))};
-    r.tag = f[1];
-    r.app = alarm::AppId{static_cast<std::uint32_t>(parse_i64(f[2]))};
+    r.id = alarm::AlarmId{static_cast<std::uint64_t>(parse_nonneg(f[0], "id"))};
+    r.tag = unescape_tag(f[1]);
+    const std::int64_t app = parse_nonneg(f[2], "app");
+    if (app > static_cast<std::int64_t>(std::numeric_limits<std::uint32_t>::max())) {
+      throw std::runtime_error("DeliveryLog: app id out of range: " + f[2]);
+    }
+    r.app = alarm::AppId{static_cast<std::uint32_t>(app)};
     r.kind = parse_kind(f[3]);
     r.mode = parse_mode(f[4]);
     r.repeat_interval = Duration::micros(parse_i64(f[5]));
@@ -117,7 +180,7 @@ DeliveryLog DeliveryLog::from_csv(const std::string& csv) {
     r.was_perceptible = parse_i64(f[10]) != 0;
     r.hardware_used = parse_hardware(f[11]);
     r.hold = Duration::micros(parse_i64(f[12]));
-    r.batch_size = static_cast<std::size_t>(parse_i64(f[13]));
+    r.batch_size = static_cast<std::size_t>(parse_nonneg(f[13], "batch_size"));
     log.records_.push_back(std::move(r));
   }
   return log;

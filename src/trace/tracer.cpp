@@ -1,0 +1,411 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace simty::trace {
+
+namespace {
+
+thread_local Tracer* g_current = nullptr;
+
+// Binary format (all integers little-endian, independent of host order):
+//   magic "SMTYTRC1"
+//   u32 label_count, then per label: u32 byte length + raw bytes
+//   u64 dropped (ring overwrites)
+//   u64 event_count, then per event:
+//     i64 t_us | u32 label index | u8 kind | u8 category | i64 arg
+constexpr char kMagic[8] = {'S', 'M', 'T', 'Y', 'T', 'R', 'C', '1'};
+constexpr std::size_t kRecordBytes = 8 + 4 + 1 + 1 + 8;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over an immutable byte string.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint32_t read_u32() { return static_cast<std::uint32_t>(read_le(4)); }
+  std::uint64_t read_u64() { return read_le(8); }
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_le(8)); }
+  std::uint8_t read_u8() { return static_cast<std::uint8_t>(read_le(1)); }
+
+  std::string read_bytes(std::size_t n) {
+    require(n);
+    std::string out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw std::runtime_error("trace: truncated input");
+    }
+  }
+
+  std::uint64_t read_le(std::size_t n) {
+    require(n);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char ch = *p;
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += str_format("\\u%04x", static_cast<unsigned char>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& bytes,
+                const char* what) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error(std::string(what) + ": write failed for " + path);
+}
+
+}  // namespace
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSim: return "sim";
+    case TraceCategory::kAlarm: return "alarm";
+    case TraceCategory::kHw: return "hw";
+    case TraceCategory::kNet: return "net";
+    case TraceCategory::kExp: return "exp";
+  }
+  return "?";
+}
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kSpanBegin: return "span-begin";
+    case TraceEventKind::kSpanEnd: return "span-end";
+    case TraceEventKind::kInstant: return "instant";
+    case TraceEventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t ring_capacity) : ring_capacity_(ring_capacity) {
+  if (ring_capacity_ > 0) {
+    ring_.resize(ring_capacity_);
+  } else {
+    // Pre-allocate the first chunk so steady state never allocates on the
+    // recording path until a chunk boundary.
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkEvents);
+  }
+}
+
+void Tracer::record(const TraceEvent& e) {
+  if (ring_capacity_ > 0) {
+    if (ring_full_) ++dropped_;
+    ring_[ring_next_] = e;
+    ring_next_ = (ring_next_ + 1) % ring_capacity_;
+    if (ring_next_ == 0 && !ring_full_) ring_full_ = true;
+    return;
+  }
+  if (chunks_.back().size() == kChunkEvents) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkEvents);
+  }
+  chunks_.back().push_back(e);
+}
+
+void Tracer::span_begin(TimePoint when, TraceCategory category, const char* label,
+                        std::int64_t arg) {
+  ++open_spans_;
+  record(TraceEvent{when.us(), label, arg, TraceEventKind::kSpanBegin, category});
+}
+
+void Tracer::span_end(TimePoint when, TraceCategory category, const char* label,
+                      std::int64_t arg) {
+  SIMTY_CHECK_MSG(open_spans_ > 0, "Tracer::span_end without a matching begin");
+  --open_spans_;
+  record(TraceEvent{when.us(), label, arg, TraceEventKind::kSpanEnd, category});
+}
+
+void Tracer::instant(TimePoint when, TraceCategory category, const char* label,
+                     std::int64_t arg) {
+  record(TraceEvent{when.us(), label, arg, TraceEventKind::kInstant, category});
+}
+
+void Tracer::counter(TimePoint when, TraceCategory category, const char* label,
+                     std::int64_t value) {
+  record(TraceEvent{when.us(), label, value, TraceEventKind::kCounter, category});
+}
+
+std::size_t Tracer::size() const {
+  if (ring_capacity_ > 0) return ring_full_ ? ring_capacity_ : ring_next_;
+  std::size_t n = 0;
+  for (const auto& chunk : chunks_) n += chunk.size();
+  return n;
+}
+
+void Tracer::clear() {
+  if (ring_capacity_ > 0) {
+    ring_next_ = 0;
+    ring_full_ = false;
+  } else {
+    chunks_.resize(1);
+    chunks_.front().clear();
+  }
+  dropped_ = 0;
+  open_spans_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  if (ring_capacity_ > 0) {
+    if (ring_full_) {
+      out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+                 ring_.end());
+    }
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_));
+  } else {
+    for (const auto& chunk : chunks_) {
+      out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const std::string name = json_escape(e.label);
+    const char* cat = to_string(e.category);
+    const long long ts = static_cast<long long>(e.t_us);
+    const long long arg = static_cast<long long>(e.arg);
+    switch (e.kind) {
+      case TraceEventKind::kSpanBegin:
+        out += str_format(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%lld,"
+            "\"pid\":0,\"tid\":0,\"args\":{\"arg\":%lld}}",
+            name.c_str(), cat, ts, arg);
+        break;
+      case TraceEventKind::kSpanEnd:
+        out += str_format(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"ts\":%lld,"
+            "\"pid\":0,\"tid\":0,\"args\":{\"arg\":%lld}}",
+            name.c_str(), cat, ts, arg);
+        break;
+      case TraceEventKind::kInstant:
+        out += str_format(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"I\",\"s\":\"t\","
+            "\"ts\":%lld,\"pid\":0,\"tid\":0,\"args\":{\"arg\":%lld}}",
+            name.c_str(), cat, ts, arg);
+        break;
+      case TraceEventKind::kCounter:
+        out += str_format(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%lld,"
+            "\"pid\":0,\"tid\":0,\"args\":{\"value\":%lld}}",
+            name.c_str(), cat, ts, arg);
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::binary() const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  // Dedup labels by CONTENT in first-appearance order: two runs recording
+  // the same event sequence get identical tables even though the label
+  // pointers differ between processes (or interner states).
+  std::map<std::string, std::uint32_t> ids;
+  std::vector<const char*> table;
+  std::vector<std::uint32_t> event_label(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto [it, inserted] =
+        ids.emplace(events[i].label, static_cast<std::uint32_t>(table.size()));
+    if (inserted) table.push_back(events[i].label);
+    event_label[i] = it->second;
+  }
+
+  std::string out(kMagic, sizeof(kMagic));
+  append_u32(out, static_cast<std::uint32_t>(table.size()));
+  for (const char* label : table) {
+    const std::string_view s(label);
+    append_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  }
+  append_u64(out, dropped_);
+  append_u64(out, static_cast<std::uint64_t>(events.size()));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    append_i64(out, e.t_us);
+    append_u32(out, event_label[i]);
+    out.push_back(static_cast<char>(e.kind));
+    out.push_back(static_cast<char>(e.category));
+    append_i64(out, e.arg);
+  }
+  return out;
+}
+
+void Tracer::save_chrome_json(const std::string& path) const {
+  write_file(path, chrome_json(), "Tracer::save_chrome_json");
+}
+
+void Tracer::save_binary(const std::string& path) const {
+  write_file(path, binary(), "Tracer::save_binary");
+}
+
+Tracer* current() { return g_current; }
+
+TraceScope::TraceScope(Tracer* tracer) : previous_(g_current) {
+  g_current = tracer;
+}
+
+TraceScope::~TraceScope() { g_current = previous_; }
+
+DecodedTrace decode_trace(const std::string& bytes) {
+  Reader in(bytes);
+  if (in.read_bytes(sizeof(kMagic)) != std::string(kMagic, sizeof(kMagic))) {
+    throw std::runtime_error("trace: bad magic (not a SIMTY binary trace)");
+  }
+  DecodedTrace t;
+  const std::uint32_t label_count = in.read_u32();
+  t.labels.reserve(label_count);
+  for (std::uint32_t i = 0; i < label_count; ++i) {
+    const std::uint32_t len = in.read_u32();
+    t.labels.push_back(in.read_bytes(len));
+  }
+  t.dropped = in.read_u64();
+  const std::uint64_t event_count = in.read_u64();
+  if (in.remaining() != event_count * kRecordBytes) {
+    throw std::runtime_error("trace: event payload size mismatch");
+  }
+  t.events.reserve(event_count);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    DecodedEvent e;
+    e.t_us = in.read_i64();
+    e.label = in.read_u32();
+    const std::uint8_t kind = in.read_u8();
+    const std::uint8_t category = in.read_u8();
+    e.arg = in.read_i64();
+    if (kind > static_cast<std::uint8_t>(TraceEventKind::kCounter)) {
+      throw std::runtime_error("trace: bad event kind");
+    }
+    if (category > static_cast<std::uint8_t>(TraceCategory::kExp)) {
+      throw std::runtime_error("trace: bad event category");
+    }
+    if (e.label >= t.labels.size()) {
+      throw std::runtime_error("trace: label index out of range");
+    }
+    e.kind = static_cast<TraceEventKind>(kind);
+    e.category = static_cast<TraceCategory>(category);
+    t.events.push_back(e);
+  }
+  return t;
+}
+
+DecodedTrace load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return decode_trace(bytes);
+}
+
+namespace {
+
+std::string format_event(const DecodedTrace& t, std::size_t i) {
+  const DecodedEvent& e = t.events[i];
+  return str_format("event %zu: t=%lldus %s/%s \"%s\" arg=%lld", i,
+                    static_cast<long long>(e.t_us), to_string(e.category),
+                    to_string(e.kind), t.label_of(e).c_str(),
+                    static_cast<long long>(e.arg));
+}
+
+}  // namespace
+
+TraceDiff diff_traces(const DecodedTrace& a, const DecodedTrace& b) {
+  TraceDiff d;
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const DecodedEvent& ea = a.events[i];
+    const DecodedEvent& eb = b.events[i];
+    const bool same = ea.t_us == eb.t_us && ea.arg == eb.arg &&
+                      ea.kind == eb.kind && ea.category == eb.category &&
+                      a.label_of(ea) == b.label_of(eb);
+    if (!same) {
+      d.first_divergence = i;
+      d.summary = str_format("traces diverge at event %zu:\n  a: %s\n  b: %s", i,
+                             format_event(a, i).c_str(), format_event(b, i).c_str());
+      return d;
+    }
+  }
+  if (a.events.size() != b.events.size()) {
+    const DecodedTrace& longer = a.events.size() > b.events.size() ? a : b;
+    d.first_divergence = common;
+    d.summary = str_format(
+        "traces share %zu events, then %s has %zu extra:\n  first extra: %s",
+        common, a.events.size() > b.events.size() ? "a" : "b",
+        longer.events.size() - common, format_event(longer, common).c_str());
+    return d;
+  }
+  if (a.dropped != b.dropped) {
+    d.summary = str_format(
+        "events identical but drop counts differ (a: %llu, b: %llu)",
+        static_cast<unsigned long long>(a.dropped),
+        static_cast<unsigned long long>(b.dropped));
+    return d;
+  }
+  d.equal = true;
+  d.summary = str_format("traces identical (%zu events)", a.events.size());
+  return d;
+}
+
+}  // namespace simty::trace

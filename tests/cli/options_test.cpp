@@ -75,16 +75,29 @@ TEST(CliOptions, ParsesJobs) {
 }
 
 TEST(CliOptions, ParsesPathsAndToggles) {
-  const ParseResult r = parse({"--csv", "out.csv", "--trace", "log.csv",
+  const ParseResult r = parse({"--csv", "out.csv", "--delivery-log", "log.csv",
                                "--waveform", "wave.csv", "--no-system-alarms"});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.plan->csv_path, "out.csv");
-  EXPECT_EQ(r.plan->trace_path, "log.csv");
+  EXPECT_EQ(r.plan->delivery_log_path, "log.csv");
   EXPECT_EQ(r.plan->waveform_path, "wave.csv");
   EXPECT_FALSE(r.plan->config.system_alarms);
   EXPECT_FALSE(parse({"--waveform"}).ok());
   EXPECT_FALSE(parse({}).plan->config.doze);
   EXPECT_TRUE(parse({"--doze"}).plan->config.doze);
+}
+
+TEST(CliOptions, ParsesTracePaths) {
+  const ParseResult r =
+      parse({"--trace", "run.bin", "--trace-json", "run.json"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->trace_path, "run.bin");
+  EXPECT_EQ(r.plan->trace_json_path, "run.json");
+  EXPECT_FALSE(parse({}).plan->trace_path.has_value());
+  EXPECT_FALSE(parse({"--trace"}).ok());
+  EXPECT_FALSE(parse({"--trace-json"}).ok());
+  EXPECT_NE(usage().find("--trace"), std::string::npos);
+  EXPECT_NE(usage().find("--delivery-log"), std::string::npos);
 }
 
 TEST(CliOptions, HelpShortCircuits) {

@@ -131,6 +131,9 @@ TEST(SimtyLintRules, DeterministicRulesScopedToDeterministicPaths) {
   EXPECT_TRUE(lint_source("bench/fixture.cpp", content).empty());
   EXPECT_TRUE(lint_source("src/metrics/fixture.cpp", content).empty());
   EXPECT_FALSE(lint_source("src/policy/fixture.cpp", content).empty());
+  // The run tracer is deterministic code too: a wall-clock read there would
+  // poison the trace-diff gate.
+  EXPECT_FALSE(lint_source("src/trace/fixture.cpp", content).empty());
 }
 
 TEST(SimtyLintRules, HotPathRulesScopedToSim) {

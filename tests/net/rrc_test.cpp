@@ -110,6 +110,57 @@ TEST_F(RrcTest, BatchedActivityPaysOnePromotion) {
   EXPECT_EQ(spread.idle_promotions(), 3u);  // each sync pays the full tail
 }
 
+TEST_F(RrcTest, PromotionMidDemotionChainKeepsAccountingExact) {
+  // Regression for the finalize/accounting bug: a FACH->DCH re-promotion in
+  // the middle of a demotion chain must leave per-state times that sum to
+  // the horizon exactly, with the final open span flushed by finalize().
+  rrc_->data_activity(Duration::seconds(2));  // DCH 0..7, FACH 7..19
+  run_to(10);
+  ASSERT_EQ(rrc_->state(), RrcState::kFach);
+  rrc_->data_activity(Duration::seconds(1));  // re-promote mid-chain at 10 s
+  EXPECT_EQ(rrc_->state(), RrcState::kDch);
+  EXPECT_EQ(rrc_->idle_promotions(), 1u);
+  EXPECT_EQ(rrc_->fach_promotions(), 1u);
+  // Busy until 11 s: DCH 10..16, FACH 16..28, IDLE from 28.
+  run_to(30);
+  EXPECT_EQ(rrc_->state(), RrcState::kIdle);
+
+  rrc_->finalize(at(30));
+  EXPECT_EQ(rrc_->time_in(RrcState::kDch), Duration::seconds(7 + 6));
+  EXPECT_EQ(rrc_->time_in(RrcState::kFach), Duration::seconds(3 + 12));
+  EXPECT_EQ(rrc_->time_in(RrcState::kIdle), Duration::seconds(2));
+  const Duration total = rrc_->time_in(RrcState::kIdle) +
+                         rrc_->time_in(RrcState::kFach) +
+                         rrc_->time_in(RrcState::kDch);
+  EXPECT_EQ(total, Duration::seconds(30));
+}
+
+TEST_F(RrcTest, FinalizeIsIdempotentAtAFixedHorizon) {
+  rrc_->data_activity(Duration::seconds(2));
+  run_to(30);
+  rrc_->finalize(at(30));
+  const Duration idle_once = rrc_->time_in(RrcState::kIdle);
+  rrc_->finalize(at(30));  // second flush at the same horizon adds nothing
+  EXPECT_EQ(rrc_->time_in(RrcState::kIdle), idle_once);
+}
+
+TEST_F(RrcTest, FinalizeRejectsHorizonBeforeSpanStart) {
+  rrc_->data_activity(Duration::seconds(2));
+  run_to(10);  // FACH span opened at 7 s
+  EXPECT_THROW(rrc_->finalize(at(5)), std::logic_error);
+}
+
+TEST_F(RrcTest, SkippingFinalizeDropsTheOpenSpan) {
+  // Documents what the wiring bugfix is protecting against: without the
+  // finalize() flush the trailing IDLE span is silently missing.
+  rrc_->data_activity(Duration::seconds(2));
+  run_to(30);
+  const Duration unflushed = rrc_->time_in(RrcState::kIdle) +
+                             rrc_->time_in(RrcState::kFach) +
+                             rrc_->time_in(RrcState::kDch);
+  EXPECT_LT(unflushed, Duration::seconds(30));
+}
+
 TEST_F(RrcTest, NegativeActivityRejected) {
   EXPECT_THROW(rrc_->data_activity(-Duration::seconds(1)), std::logic_error);
 }

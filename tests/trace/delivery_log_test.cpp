@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <iterator>
 
 #include "alarm/native_policy.hpp"
 #include "apps/app_catalog.hpp"
@@ -53,6 +54,105 @@ TEST(DeliveryLog, CsvRoundTripPreservesEverything) {
   EXPECT_EQ(r.hardware_used, orig.hardware_used);
   EXPECT_EQ(r.hold, orig.hold);
   EXPECT_EQ(r.batch_size, orig.batch_size);
+}
+
+TEST(DeliveryLog, HostileTagsRoundTrip) {
+  // ',' shifts every later field, '|' corrupts the hardware set on reload,
+  // and a newline splits the row — all must survive via tag escaping.
+  const std::string hostile[] = {
+      "a,b",         "pipe|tag",    "back\\slash", "tricky\\c,mix",
+      "line\nbreak", "cr\rreturn",  ",|\\\n\r",    "plain.tag",
+  };
+  DeliveryLog log;
+  std::uint64_t id = 1;
+  for (const std::string& tag : hostile) log.observe(sample_record(id++, tag));
+  const DeliveryLog back = DeliveryLog::from_csv(log.to_csv());
+  ASSERT_EQ(back.size(), std::size(hostile));
+  for (std::size_t i = 0; i < std::size(hostile); ++i) {
+    EXPECT_EQ(back.records()[i].tag, hostile[i]) << i;
+    // The other fields must not have shifted.
+    EXPECT_EQ(back.records()[i].hardware_used,
+              (ComponentSet{Component::kWifi, Component::kCellular}))
+        << i;
+    EXPECT_EQ(back.records()[i].batch_size, 3u) << i;
+  }
+}
+
+TEST(DeliveryLog, RejectsBadTagEscapes) {
+  DeliveryLog log;
+  log.observe(sample_record(1, "x"));
+  std::string dangling = log.to_csv();
+  auto pos = dangling.find("1,x,");
+  ASSERT_NE(pos, std::string::npos);
+  dangling.replace(pos, 4, "1,x\\,");  // trailing backslash in the tag field
+  EXPECT_THROW(DeliveryLog::from_csv(dangling), std::runtime_error);
+
+  std::string unknown = log.to_csv();
+  pos = unknown.find("1,x,");
+  ASSERT_NE(pos, std::string::npos);
+  unknown.replace(pos, 4, "1,x\\zq,");  // '\z' is not an escape we emit
+  EXPECT_THROW(DeliveryLog::from_csv(unknown), std::runtime_error);
+}
+
+TEST(DeliveryLog, RejectsNegativeUnsignedFields) {
+  DeliveryLog log;
+  log.observe(sample_record(4, "neg"));
+  const std::string csv = log.to_csv();
+
+  // Flip each unsigned column to a negative value; each must throw rather
+  // than wrap through the cast (previously -1 loaded as 2^64-1 / 2^32-1).
+  const std::string negative_id = [&] {
+    std::string s = csv;
+    const auto p = s.find("\n4,");
+    return s.replace(p, 3, "\n-4,");
+  }();
+  EXPECT_THROW(DeliveryLog::from_csv(negative_id), std::runtime_error);
+
+  const std::string negative_app = [&] {
+    std::string s = csv;
+    const auto p = s.find(",7,wakeup");
+    return s.replace(p, 3, ",-7,");
+  }();
+  EXPECT_THROW(DeliveryLog::from_csv(negative_app), std::runtime_error);
+
+  const std::string huge_app = [&] {
+    std::string s = csv;
+    const auto p = s.find(",7,wakeup");
+    return s.replace(p, 3, ",4294967296,");
+  }();
+  EXPECT_THROW(DeliveryLog::from_csv(huge_app), std::runtime_error);
+
+  const std::string negative_batch = [&] {
+    std::string s = csv;
+    const auto p = s.rfind(",3\n");
+    return s.replace(p, 3, ",-3\n");
+  }();
+  EXPECT_THROW(DeliveryLog::from_csv(negative_batch), std::runtime_error);
+}
+
+TEST(DeliveryLog, RandomizedTagsRoundTrip) {
+  // Property: any tag drawn from the full hostile alphabet survives a CSV
+  // round trip with every other field intact.
+  const char alphabet[] = {',', '|', '\\', '\n', '\r', 'a', 'z', '.', ' ', '0'};
+  Rng rng(20260807);
+  DeliveryLog log;
+  std::vector<std::string> tags;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    std::string tag;
+    const std::uint64_t len = rng.next_below(12);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      tag += alphabet[rng.next_below(std::size(alphabet))];
+    }
+    tags.push_back(tag);
+    log.observe(sample_record(i + 1, tag));
+  }
+  const DeliveryLog back = DeliveryLog::from_csv(log.to_csv());
+  ASSERT_EQ(back.size(), tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(back.records()[i].tag, tags[i]) << i;
+    EXPECT_EQ(back.records()[i].id, alarm::AlarmId{i + 1}) << i;
+    EXPECT_EQ(back.records()[i].hold, Duration::millis(2500)) << i;
+  }
 }
 
 TEST(DeliveryLog, EmptyHardwareRoundTrips) {

@@ -8,6 +8,7 @@
 #include "power/monitor.hpp"
 #include "exp/reporting.hpp"
 #include "trace/delivery_log.hpp"
+#include "trace/tracer.hpp"
 
 using namespace simty;
 
@@ -25,16 +26,20 @@ int main(int argc, char** argv) {
   }
 
   trace::DeliveryLog log;
+  trace::Tracer tracer;
   power::PowerMonitor waveform_monitor;
   std::vector<exp::NamedResult> columns;
   for (std::size_t i = 0; i < plan.policies.size(); ++i) {
     exp::ExperimentConfig c = plan.config;
     c.policy = plan.policies[i];
     const bool last = i + 1 == plan.policies.size();
-    const bool capture = last && (plan.trace_path || plan.waveform_path);
+    // The run trace rides the base-seed run of the last policy, serial or
+    // parallel alike (run_repeated keeps the tracer on the base seed).
+    if (last && (plan.trace_path || plan.trace_json_path)) c.tracer = &tracer;
+    const bool capture = last && (plan.delivery_log_path || plan.waveform_path);
     if (capture) {
       // Captures cover one seeded run of the last policy.
-      if (plan.trace_path) c.extra_delivery_observer = log.observer();
+      if (plan.delivery_log_path) c.extra_delivery_observer = log.observer();
       if (plan.waveform_path) c.extra_power_listener = &waveform_monitor;
       columns.push_back({exp::to_string(c.policy), exp::run_experiment(c)});
       waveform_monitor.finalize(TimePoint::origin() + c.duration);
@@ -76,10 +81,20 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("power waveform written to %s\n", plan.waveform_path->c_str());
   }
-  if (plan.trace_path) {
-    log.save(*plan.trace_path);
+  if (plan.delivery_log_path) {
+    log.save(*plan.delivery_log_path);
     std::printf("delivery trace (%zu records) written to %s\n", log.size(),
+                plan.delivery_log_path->c_str());
+  }
+  if (plan.trace_path) {
+    tracer.save_binary(*plan.trace_path);
+    std::printf("run trace (%zu events) written to %s\n", tracer.size(),
                 plan.trace_path->c_str());
+  }
+  if (plan.trace_json_path) {
+    tracer.save_chrome_json(*plan.trace_json_path);
+    std::printf("chrome trace (%zu events) written to %s\n", tracer.size(),
+                plan.trace_json_path->c_str());
   }
   return 0;
 }

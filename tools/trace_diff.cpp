@@ -1,0 +1,33 @@
+// trace_diff: compares two binary run traces (simty_run --trace) and
+// reports the first divergent event. This is the determinism gate's teeth:
+// two runs of the same config must be byte-identical, and when they are
+// not, the first differing event names the layer and virtual time where
+// the executions forked — far more actionable than a diff of end-of-run
+// aggregate tables.
+//
+//   trace_diff a.bin b.bin
+//     exit 0: traces identical
+//     exit 1: traces diverge (first divergence printed)
+//     exit 2: usage / unreadable or malformed input
+
+#include <cstdio>
+#include <exception>
+
+#include "trace/tracer.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: trace_diff <a.bin> <b.bin>\n");
+    return 2;
+  }
+  try {
+    const simty::trace::DecodedTrace a = simty::trace::load_trace(argv[1]);
+    const simty::trace::DecodedTrace b = simty::trace::load_trace(argv[2]);
+    const simty::trace::TraceDiff diff = simty::trace::diff_traces(a, b);
+    std::printf("%s\n", diff.summary.c_str());
+    return diff.equal ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_diff: %s\n", e.what());
+    return 2;
+  }
+}
