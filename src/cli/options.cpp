@@ -169,6 +169,25 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       }
       continue;
     }
+    if (arg == "--fleet") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n <= 0) return fail("--fleet needs a positive device count");
+      plan.fleet_devices = static_cast<std::uint64_t>(*n);
+      continue;
+    }
+    if (arg == "--cohorts") {
+      const auto v = value();
+      if (!v) return fail("--cohorts needs a path");
+      plan.cohorts_path = *v;
+      continue;
+    }
+    if (arg == "--fleet-csv") {
+      const auto v = value();
+      if (!v) return fail("--fleet-csv needs a path");
+      plan.fleet_csv_path = *v;
+      continue;
+    }
     if (arg == "--csv") {
       const auto v = value();
       if (!v) return fail("--csv needs a path");
@@ -203,6 +222,12 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   }
 
   if (plan.policies.empty()) return fail("at least one --policy is required");
+  if (!plan.fleet_devices && plan.cohorts_path) {
+    return fail("--cohorts requires --fleet");
+  }
+  if (!plan.fleet_devices && plan.fleet_csv_path) {
+    return fail("--fleet-csv requires --fleet");
+  }
   return ParseResult{plan, ""};
 }
 
@@ -225,6 +250,12 @@ std::string usage() {
       "  --no-system-alarms   disable the Android system-alarm mix\n"
       "  --doze               enable AOSP-M-style doze maintenance windows\n"
       "  --hw-levels 2|3|4    hardware-similarity granularity (default 3)\n"
+      "  --fleet N            fleet mode: simulate N devices per policy,\n"
+      "                       sampled from cohorts (aggregates are\n"
+      "                       bit-identical at any --jobs)\n"
+      "  --cohorts FILE       cohort spec file (see EXPERIMENTS.md;\n"
+      "                       default: the built-in three-cohort fleet)\n"
+      "  --fleet-csv PATH     write full-precision fleet aggregates CSV\n"
       "  --csv PATH           write per-policy results CSV\n"
       "  --delivery-log PATH  write the delivery log of the last run\n"
       "  --waveform PATH      write the power waveform of the last run\n"

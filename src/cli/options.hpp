@@ -21,6 +21,15 @@ struct RunPlan {
 
   int repetitions = 3;
   int jobs = 1;                              // parallel workers for repetitions
+
+  /// Fleet mode (--fleet N): run a device population per policy instead of
+  /// seed repetitions; workload/duration flags are superseded by the
+  /// cohort specs. See fleet/fleet_runner.hpp.
+  std::optional<std::uint64_t> fleet_devices;
+  std::optional<std::string> cohorts_path;    // --cohorts FILE
+  std::optional<std::string> fleet_csv_path;  // --fleet-csv PATH
+
+
   std::optional<std::string> csv_path;       // write results CSV here
   std::optional<std::string> delivery_log_path;  // write a delivery log here
   std::optional<std::string> waveform_path;  // write the power waveform here

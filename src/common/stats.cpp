@@ -24,7 +24,12 @@ double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double OnlineStats::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_ - 1);
+  // m2_ is non-negative in exact arithmetic (Welford add, Chan merge — the
+  // class never uses the cancellation-prone sum-of-squares form), but the
+  // final rounding of delta * (x - mean_) can leave it a few ulps below
+  // zero when the true variance is ~0 relative to the mean. Clamp so
+  // variance()/stddev() never go negative/NaN.
+  return std::max(m2_, 0.0) / static_cast<double>(n_ - 1);
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }

@@ -63,6 +63,9 @@ apps::Workload make_workload(const ExperimentConfig& config) {
   apps::WorkloadConfig wc;
   wc.seed = config.seed;
   wc.beta = config.beta;
+  if (!config.custom_profiles.empty()) {
+    return apps::Workload::from_profiles(config.custom_profiles, wc);
+  }
   switch (config.workload) {
     case WorkloadKind::kLight: return apps::Workload::light(wc);
     case WorkloadKind::kHeavy: return apps::Workload::heavy(wc);

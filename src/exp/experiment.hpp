@@ -42,6 +42,12 @@ struct ExperimentConfig {
   alarm::SimilarityConfig similarity;   // for SIMTY variants
   WorkloadKind workload = WorkloadKind::kLight;
   std::size_t synthetic_apps = 18;      // when workload == kSynthetic
+
+  /// When non-empty, overrides `workload`: the resident apps are built from
+  /// exactly these profiles (Workload::from_profiles; irregular profiles get
+  /// trace-replay imitations like the heavy workload). This is how the
+  /// fleet layer runs each device on its sampled per-device catalog.
+  std::vector<apps::AppProfile> custom_profiles;
   double beta = apps::kPaperBeta;       // platform grace factor
   Duration duration = Duration::hours(3);
   std::uint64_t seed = 1;

@@ -1,0 +1,134 @@
+#pragma once
+// Deterministic streaming aggregation of fleet metrics.
+//
+// Each device run is reduced to a DeviceMetrics row; shards fold their rows
+// into MetricAggregates (Welford mean/variance + a fixed-bin percentile
+// sketch on metrics/histogram); shard aggregates combine through
+// merge_pairwise — a balanced binary reduction whose tree shape depends
+// only on the shard count, never on worker scheduling. Together with the
+// fixed shard partition (FleetConfig::shard_devices, never derived from
+// --jobs) that makes fleet aggregates bit-identical at any worker count:
+// histogram merges are exact integer folds, and the Welford merges happen
+// in one fixed order.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "metrics/histogram.hpp"
+
+namespace simty::exp {
+struct RunResult;
+}
+
+namespace simty::fleet {
+
+/// Histogram geometries, shared by every shard so sketches merge. Linear
+/// buckets; values past the upper bound land in the overflow bucket and
+/// quantiles there resolve to the observed max.
+inline constexpr double kEnergyUpperJ = 1000.0;     // per-session joules
+inline constexpr std::size_t kEnergyBuckets = 500;  // 2 J per bucket
+inline constexpr double kPowerUpperMw = 400.0;      // average standby power
+inline constexpr std::size_t kPowerBuckets = 400;   // 1 mW per bucket
+inline constexpr double kWakeupsUpper = 720.0;      // CPU wakeups per hour
+inline constexpr std::size_t kWakeupsBuckets = 360; // 2 per bucket
+inline constexpr double kDelayUpper = 2.0;          // normalized delay < 1+beta
+inline constexpr std::size_t kDelayBuckets = 400;   // 0.005 per bucket
+
+/// One metric stream: Welford stats plus a percentile sketch.
+class MetricAggregate {
+ public:
+  MetricAggregate(double hist_upper, std::size_t hist_buckets)
+      : hist_(hist_upper, hist_buckets) {}
+
+  void add(double v) {
+    stats_.add(v);
+    hist_.add(v);
+  }
+  void merge(const MetricAggregate& other) {
+    stats_.merge(other.stats_);
+    hist_.merge(other.hist_);
+  }
+
+  const OnlineStats& stats() const { return stats_; }
+  const metrics::Histogram& histogram() const { return hist_; }
+
+  /// Sketch quantile; 0 when empty.
+  double quantile(double q) const { return hist_.empty() ? 0.0 : hist_.quantile(q); }
+
+ private:
+  OnlineStats stats_;
+  metrics::Histogram hist_;
+};
+
+/// The per-device metric row the fleet tracks.
+struct DeviceMetrics {
+  double energy_j = 0.0;          // total session energy
+  double avg_power_mw = 0.0;      // average standby power
+  double wakeups_per_hour = 0.0;  // CPU wakeup rate
+  double delay_norm = 0.0;        // mean normalized imperceptible delay
+};
+
+/// Reduces one device run to its metric row.
+DeviceMetrics device_metrics(const exp::RunResult& r);
+
+/// Aggregates of one cohort (or one shard of it, or the whole fleet).
+struct CohortAggregate {
+  std::string cohort;
+  std::uint64_t devices = 0;
+  MetricAggregate energy_j{kEnergyUpperJ, kEnergyBuckets};
+  MetricAggregate avg_power_mw{kPowerUpperMw, kPowerBuckets};
+  MetricAggregate wakeups_per_hour{kWakeupsUpper, kWakeupsBuckets};
+  MetricAggregate delay_norm{kDelayUpper, kDelayBuckets};
+
+  CohortAggregate() = default;
+  explicit CohortAggregate(std::string name) : cohort(std::move(name)) {}
+
+  void add(const DeviceMetrics& m) {
+    ++devices;
+    energy_j.add(m.energy_j);
+    avg_power_mw.add(m.avg_power_mw);
+    wakeups_per_hour.add(m.wakeups_per_hour);
+    delay_norm.add(m.delay_norm);
+  }
+
+  /// Folds `other` in; keeps this aggregate's name.
+  void merge(const CohortAggregate& other) {
+    devices += other.devices;
+    energy_j.merge(other.energy_j);
+    avg_power_mw.merge(other.avg_power_mw);
+    wakeups_per_hour.merge(other.wakeups_per_hour);
+    delay_norm.merge(other.delay_norm);
+  }
+};
+
+/// Balanced binary pairwise reduction in submission order: round k merges
+/// neighbor pairs (0,1)(2,3)..., the odd tail carries over. The tree shape
+/// is a pure function of items.size(), so repeated reductions of the same
+/// shards are bit-identical — and the O(log n) depth bounds Welford-merge
+/// rounding growth, which is what the two-pass-reference property tests
+/// measure. Works for any T with merge(const T&).
+template <typename T>
+T merge_pairwise(std::vector<T> items) {
+  SIMTY_CHECK_MSG(!items.empty(), "merge_pairwise of zero shards");
+  std::size_t n = items.size();
+  while (n > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      items[i].merge(items[i + 1]);
+      if (out != i) items[out] = std::move(items[i]);
+      ++out;
+    }
+    if (n % 2 == 1) {
+      items[out] = std::move(items[n - 1]);
+      ++out;
+    }
+    n = out;
+  }
+  return std::move(items.front());
+}
+
+}  // namespace simty::fleet

@@ -1,0 +1,121 @@
+#include "fleet/fleet_runner.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "trace/tracer.hpp"
+
+namespace simty::fleet {
+
+exp::ExperimentConfig device_config(const CohortSpec& spec,
+                                    const DeviceSample& sample,
+                                    exp::PolicyKind policy,
+                                    const alarm::SimilarityConfig& similarity) {
+  exp::ExperimentConfig c;
+  c.policy = policy;
+  c.similarity = similarity;
+  c.custom_profiles = sample.catalog;
+  c.beta = sample.beta;
+  c.duration = spec.standby;
+  c.seed = sample.run_seed;
+  c.system_alarms = spec.system_alarms;
+  c.power_model = sample.power_model;
+  return c;
+}
+
+namespace {
+
+/// A contiguous device-major slice of one cohort.
+struct Shard {
+  std::size_t cohort = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+CohortAggregate run_shard(const CohortSpec& spec, const FleetConfig& config,
+                          const Shard& shard) {
+  CohortAggregate agg(spec.name);
+  for (std::uint64_t d = shard.begin; d < shard.end; ++d) {
+    const DeviceSample sample = sample_device(spec, config.seed, d);
+    agg.add(device_metrics(exp::run_experiment(
+        device_config(spec, sample, config.policy, config.similarity))));
+  }
+  return agg;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& config) {
+  SIMTY_CHECK_MSG(config.devices > 0, "fleet needs at least one device");
+  SIMTY_CHECK_MSG(config.shard_devices > 0, "fleet shard size must be positive");
+  const std::vector<CohortSpec> cohorts =
+      config.cohorts.empty() ? default_cohorts() : config.cohorts;
+  for (const CohortSpec& spec : cohorts) spec.validate();
+  const std::vector<std::uint64_t> counts =
+      apportion_devices(config.devices, cohorts);
+
+  std::vector<Shard> shards;
+  for (std::size_t i = 0; i < cohorts.size(); ++i) {
+    for (std::uint64_t b = 0; b < counts[i]; b += config.shard_devices) {
+      shards.push_back(Shard{i, b, std::min(b + config.shard_devices, counts[i])});
+    }
+  }
+
+  // Fleet-level spans only, on the calling thread: device runs install a
+  // null tracer (device_config leaves tracer unset), so the fleet trace is
+  // identical whether the shards ran serially or on workers.
+  const trace::TraceScope trace_scope(config.tracer);
+  SIMTY_TRACE_SPAN_BEGIN(TimePoint::origin(), trace::TraceCategory::kExp,
+                         "fleet", static_cast<std::int64_t>(config.devices));
+
+  std::vector<CohortAggregate> shard_aggs;
+  shard_aggs.reserve(shards.size());
+  if (config.jobs > 1 && shards.size() > 1) {
+    const auto workers = std::min<std::size_t>(
+        static_cast<std::size_t>(config.jobs), shards.size());
+    ThreadPool pool(workers);
+    std::vector<std::future<CohortAggregate>> futures;
+    futures.reserve(shards.size());
+    for (const Shard& shard : shards) {
+      const CohortSpec& spec = cohorts[shard.cohort];
+      futures.push_back(pool.submit(
+          [&spec, &config, shard] { return run_shard(spec, config, shard); }));
+    }
+    // Submission-order collection: get() rethrows the first failure in
+    // submission order; the pool destructor drains the rest.
+    for (std::future<CohortAggregate>& f : futures) shard_aggs.push_back(f.get());
+  } else {
+    for (const Shard& shard : shards) {
+      shard_aggs.push_back(run_shard(cohorts[shard.cohort], config, shard));
+    }
+  }
+
+  FleetResult result;
+  result.policy_name = exp::to_string(config.policy);
+  result.devices = config.devices;
+  // Shards were emitted cohort-major, so each cohort's shards are one
+  // contiguous slice of shard_aggs.
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < cohorts.size(); ++i) {
+    std::vector<CohortAggregate> mine;
+    while (pos < shards.size() && shards[pos].cohort == i) {
+      mine.push_back(std::move(shard_aggs[pos]));
+      ++pos;
+    }
+    if (mine.empty()) mine.emplace_back(cohorts[i].name);  // zero-device cohort
+    SIMTY_TRACE_INSTANT(TimePoint::origin(), trace::TraceCategory::kExp,
+                        "fleet-cohort-merge",
+                        static_cast<std::int64_t>(mine.size()));
+    result.cohorts.push_back(merge_pairwise(std::move(mine)));
+  }
+  std::vector<CohortAggregate> all(result.cohorts);
+  result.overall = merge_pairwise(std::move(all));
+  result.overall.cohort = "ALL";
+  SIMTY_TRACE_SPAN_END(TimePoint::origin(), trace::TraceCategory::kExp, "fleet",
+                       static_cast<std::int64_t>(config.devices));
+  return result;
+}
+
+}  // namespace simty::fleet

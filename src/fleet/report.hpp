@@ -1,0 +1,24 @@
+#pragma once
+// Rendering of fleet results: a per-cohort summary table for the console
+// and a full-precision CSV for plotting and determinism checks.
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_runner.hpp"
+
+namespace simty::fleet {
+
+/// Per-cohort summary table (mean ± stddev, sketch percentiles).
+std::string render_fleet_report(const FleetResult& result);
+
+/// CSV over one or more policy runs, one row per (policy, cohort, metric):
+///
+///   policy,cohort,devices,metric,count,mean,stddev,min,max,p50,p95,p99
+///
+/// Floats are written with %.17g (round-trip exact), so two byte-identical
+/// CSVs mean bit-identical aggregates — the serial-vs-parallel CI gate
+/// compares these files with cmp.
+std::string fleet_csv(const std::vector<FleetResult>& results);
+
+}  // namespace simty::fleet

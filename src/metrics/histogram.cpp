@@ -33,6 +33,23 @@ void Histogram::add(double value) {
   ++buckets_[std::min(idx, buckets_.size() - 1)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  SIMTY_CHECK_MSG(buckets_.size() == other.buckets_.size() && upper_ == other.upper_,
+                  "histogram merge requires identical geometry");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
 double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

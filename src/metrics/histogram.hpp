@@ -33,6 +33,13 @@ class Histogram {
   /// overflow resolves to the observed max. Throws when empty.
   double quantile(double q) const;
 
+  /// Folds another histogram into this one. Both must have identical
+  /// geometry (same upper bound and bucket count); bucket counts, overflow,
+  /// count/sum/min/max all combine exactly, so merging per-shard sketches
+  /// in any fixed order reproduces the single-pass sketch bit-for-bit —
+  /// the property the fleet aggregation layer's merge tree relies on.
+  void merge(const Histogram& other);
+
   /// Bucket counts (for rendering).
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
   double bucket_width() const { return width_; }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace simty {
@@ -54,6 +57,55 @@ TEST(OnlineStats, NumericallyStableOnOffsetData) {
   }
   EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
   EXPECT_NEAR(s.variance(), 30.0, 1e-3);
+}
+
+TEST(OnlineStats, LargeMeanSmallVarianceRegression) {
+  // Regression guard for the variance audit: mean 1e9 with unit variance is
+  // a condition number of ~1e18 — a sum-of-squares single pass would return
+  // garbage (ulp(E[x^2]) ~ 128 > the variance), typically negative, and
+  // stddev() would be NaN. Welford must recover it to ppm accuracy, and
+  // variance() must clamp any terminal rounding below zero.
+  Rng rng(11);
+  OnlineStats offset_stats, centered_stats;
+  double sum = 0.0;
+  std::vector<double> centered;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.normal(1e9, 1.0);
+    offset_stats.add(x);
+    centered.push_back(x - 1e9);  // exact in doubles at this magnitude
+    centered_stats.add(centered.back());
+    sum += centered.back();
+  }
+  // Near-exact two-pass reference on the exactly-shifted data.
+  const double ref_mean = sum / 4000.0;
+  double m2 = 0.0;
+  for (const double y : centered) m2 += (y - ref_mean) * (y - ref_mean);
+  const double ref_var = m2 / 3999.0;
+  ASSERT_GT(ref_var, 0.0);
+
+  EXPECT_GE(offset_stats.variance(), 0.0);
+  EXPECT_NEAR(offset_stats.variance() / ref_var, 1.0, 1e-6);
+  EXPECT_NEAR(offset_stats.mean() - 1e9, ref_mean, 1e-5);
+  EXPECT_FALSE(std::isnan(offset_stats.stddev()));
+  // Shift invariance: variance(x) == variance(x - c) to ppm.
+  EXPECT_NEAR(offset_stats.variance() / centered_stats.variance(), 1.0, 1e-6);
+}
+
+TEST(OnlineStats, VarianceNeverGoesNegativeOnNearConstantData) {
+  // Repeated identical values after an offset: m2_ should be ~0; rounding
+  // must not surface as variance < 0 or stddev NaN.
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + 0.1);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_GE(s.stddev(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+
+  OnlineStats a, b;
+  for (int i = 0; i < 500; ++i) a.add(1e9 + 0.1);
+  for (int i = 0; i < 500; ++i) b.add(1e9 + 0.1);
+  a.merge(b);
+  EXPECT_GE(a.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
 }
 
 TEST(OnlineStats, MergeEqualsSequential) {

@@ -129,6 +129,36 @@ TEST(ParallelRunner, ExternalHooksForceTheSerialPath) {
   EXPECT_EQ(hooked.energy.total().mj(), serial.energy.total().mj());
 }
 
+TEST(ParallelRunner, ShardExceptionPropagatesCleanly) {
+  // Poison one config in the middle of a sweep: make_policy throws for an
+  // unknown kind inside the worker task. The sweep must surface that
+  // exception on the calling thread — same type and message at any job
+  // count — and the pool must drain without leaking queued tasks.
+  std::vector<ExperimentConfig> configs;
+  for (int i = 0; i < 6; ++i) configs.push_back(quick(PolicyKind::kSimty));
+  configs[3].policy = static_cast<PolicyKind>(99);
+  std::string serial_what, parallel_what;
+  for (const int jobs : {1, 4}) {
+    SCOPED_TRACE(jobs);
+    try {
+      run_sweep(configs, jobs);
+      FAIL() << "expected std::logic_error from the poisoned config";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("unknown policy kind"),
+                std::string::npos);
+      (jobs == 1 ? serial_what : parallel_what) = e.what();
+    }
+  }
+  // Deterministic failure: serial and parallel report the same error.
+  EXPECT_EQ(serial_what, parallel_what);
+  // Nothing leaked: a healthy sweep on a fresh pool still works and is
+  // unaffected by the earlier failure.
+  configs[3].policy = PolicyKind::kSimty;
+  const std::vector<RunResult> ok = run_sweep(configs, 4);
+  ASSERT_EQ(ok.size(), 6u);
+  expect_identical(ok[0], ok[3]);  // identical configs → identical results
+}
+
 TEST(ParallelRunner, BadRepetitionCountThrows) {
   EXPECT_THROW(run_repeated(quick(PolicyKind::kNative), 0, 4), std::logic_error);
   EXPECT_THROW(run_repeated_stats(quick(PolicyKind::kNative), 0, 4),

@@ -1,0 +1,297 @@
+// Property tests for the fleet aggregation layer: Welford pairwise merging
+// against a two-pass reference, determinism/associativity of the merge
+// tree, and histogram percentile bracketing on adversarial distributions.
+
+#include "fleet/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace simty::fleet {
+namespace {
+
+// Tolerance scaled to the magnitude of the quantities involved — "within
+// `ulps` rounding steps of the reference", not an absolute epsilon.
+void expect_close(double actual, double reference, double scale, double ulps) {
+  const double tol =
+      ulps * std::numeric_limits<double>::epsilon() * std::max(scale, 1.0);
+  EXPECT_NEAR(actual, reference, tol)
+      << "actual " << actual << " reference " << reference << " scale " << scale;
+}
+
+// Two-pass reference: exact mean first, then centered squares.
+void two_pass(const std::vector<double>& xs, double* mean, double* variance) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  *mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - *mean) * (x - *mean);
+  *variance = xs.size() < 2 ? 0.0 : m2 / static_cast<double>(xs.size() - 1);
+}
+
+// Splits xs into runs at random boundaries and Welford-accumulates each run.
+std::vector<OnlineStats> random_shards(const std::vector<double>& xs, Rng& rng,
+                                       std::uint32_t max_shards) {
+  const std::uint32_t shard_count = 1 + rng.next_below(max_shards);
+  std::vector<OnlineStats> shards(shard_count);
+  for (const double x : xs) {
+    shards[rng.next_below(shard_count)].add(x);
+  }
+  std::vector<OnlineStats> non_empty;
+  for (const OnlineStats& s : shards) {
+    if (!s.empty()) non_empty.push_back(s);
+  }
+  return non_empty;
+}
+
+TEST(WelfordMerge, PairwiseTreeMatchesTwoPassOnRandomizedSplits) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Mix of scales: uniform, normal around a large mean, exponential.
+    std::vector<double> xs;
+    const int n = 500 + static_cast<int>(rng.next_below(2000));
+    const double offset = rng.chance(0.5) ? 0.0 : 1e6;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(offset + rng.normal(50.0, 12.0));
+    }
+    double ref_mean = 0.0, ref_var = 0.0;
+    two_pass(xs, &ref_mean, &ref_var);
+
+    const OnlineStats merged = merge_pairwise(random_shards(xs, rng, 17));
+    ASSERT_EQ(merged.count(), xs.size());
+    // Welford + pairwise merging stays within ulp-scaled rounding of the
+    // two-pass reference even with the 1e6 offset; a sum-of-squares
+    // formulation would be off by many orders of magnitude here. The
+    // allowance grows with n (n rounded additions on each side).
+    const double nd = static_cast<double>(n);
+    expect_close(merged.mean(), ref_mean, std::abs(ref_mean), 16.0 * nd);
+    expect_close(merged.variance(), ref_var, ref_var, 64.0 * nd);
+    EXPECT_EQ(merged.min(), *std::min_element(xs.begin(), xs.end()));
+    EXPECT_EQ(merged.max(), *std::max_element(xs.begin(), xs.end()));
+  }
+}
+
+TEST(WelfordMerge, LargeMeanSmallVarianceSurvives) {
+  // Catastrophic-cancellation regression guard: mean 1e9, stddev 1 — a
+  // condition number of ~1e18, where the textbook E[x^2] - E[x]^2 single
+  // pass returns pure garbage (ulp(E[x^2]) ~ 128 > the variance itself).
+  // The reference shifts by the exact offset first (x - 1e9 is exact in
+  // doubles for values this close), so it is near-exact.
+  Rng rng(7);
+  std::vector<double> xs, shifted;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(rng.normal(1e9, 1.0));
+    shifted.push_back(xs.back() - 1e9);
+  }
+  double ref_mean = 0.0, ref_var = 0.0;
+  two_pass(shifted, &ref_mean, &ref_var);
+  ref_mean += 1e9;
+  ASSERT_GT(ref_var, 0.0);
+
+  const OnlineStats merged = merge_pairwise(random_shards(xs, rng, 13));
+  EXPECT_GE(merged.variance(), 0.0);
+  EXPECT_NEAR(merged.variance() / ref_var, 1.0, 1e-6);
+  expect_close(merged.mean(), ref_mean, ref_mean, 64.0);
+
+  OnlineStats serial;
+  for (const double x : xs) serial.add(x);
+  EXPECT_GE(serial.variance(), 0.0);
+  EXPECT_NEAR(serial.variance() / ref_var, 1.0, 1e-6);
+
+  // Shift invariance: the same data centered at zero gives the same
+  // variance to high relative accuracy.
+  OnlineStats centered;
+  for (const double y : shifted) centered.add(y);
+  EXPECT_NEAR(serial.variance() / centered.variance(), 1.0, 1e-6);
+}
+
+TEST(WelfordMerge, PairwiseTreeIsDeterministic) {
+  // Same shards in, bit-identical result out — twice, and regardless of
+  // how many empty accumulators surround the data.
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 777; ++i) xs.push_back(rng.exponential(3.0));
+  Rng split_a(5), split_b(5);
+  const OnlineStats a = merge_pairwise(random_shards(xs, split_a, 9));
+  const OnlineStats b = merge_pairwise(random_shards(xs, split_b, 9));
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(WelfordMerge, TreeOrderIsAssociativeWithinTolerance) {
+  // Different tree shapes give different rounding but the same value to
+  // ulp-scale: compare the balanced pairwise tree against a left fold.
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+  std::vector<OnlineStats> shards = random_shards(xs, rng, 15);
+
+  OnlineStats left_fold = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) left_fold.merge(shards[i]);
+  const OnlineStats tree = merge_pairwise(std::move(shards));
+
+  EXPECT_EQ(tree.count(), left_fold.count());
+  const double nd = static_cast<double>(xs.size());
+  expect_close(tree.mean(), left_fold.mean(), std::abs(left_fold.mean()),
+               16.0 * nd);
+  expect_close(tree.variance(), left_fold.variance(), left_fold.variance(),
+               64.0 * nd);
+  EXPECT_EQ(tree.min(), left_fold.min());
+  EXPECT_EQ(tree.max(), left_fold.max());
+}
+
+TEST(MergePairwise, ThrowsOnEmptyAndHandlesSingleton) {
+  EXPECT_THROW(merge_pairwise(std::vector<OnlineStats>{}), std::logic_error);
+  OnlineStats one;
+  one.add(5.0);
+  const OnlineStats out = merge_pairwise(std::vector<OnlineStats>{one});
+  EXPECT_EQ(out.count(), 1u);
+  EXPECT_EQ(out.mean(), 5.0);
+}
+
+// --- Histogram percentile bracketing -------------------------------------
+
+// The sketch quantile must bracket the exact quantile: when the exact
+// quantile lies under the histogram range, the sketch lands in the same
+// bucket (error <= one bucket width); when it overflows, the sketch
+// resolves to the observed max, which is >= the exact quantile.
+void expect_brackets(const metrics::Histogram& h, std::vector<double> xs,
+                     double q) {
+  std::sort(xs.begin(), xs.end());
+  const double target = q * static_cast<double>(xs.size());
+  const std::size_t rank = target <= 1.0 ? 0
+                                         : std::min(xs.size() - 1,
+                                                    static_cast<std::size_t>(
+                                                        std::ceil(target)) -
+                                                        1);
+  const double exact = xs[rank];
+  const double sketch = h.quantile(q);
+  const double width = h.bucket_width();
+  if (exact < h.bucket_width() * static_cast<double>(h.buckets().size())) {
+    EXPECT_NEAR(sketch, exact, width * (1.0 + 1e-9))
+        << "q=" << q << " exact=" << exact << " sketch=" << sketch;
+  } else {
+    EXPECT_GE(sketch + 1e-12, exact) << "q=" << q;
+    EXPECT_LE(sketch, h.max()) << "q=" << q;
+  }
+}
+
+TEST(HistogramSketch, BracketsQuantilesOnConstantDistribution) {
+  metrics::Histogram h(10.0, 100);
+  std::vector<double> xs(5000, 7.25);
+  for (const double x : xs) h.add(x);
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    expect_brackets(h, xs, q);
+  }
+}
+
+TEST(HistogramSketch, BracketsQuantilesOnBimodalDistribution) {
+  Rng rng(3);
+  metrics::Histogram h(10.0, 200);
+  std::vector<double> xs;
+  for (int i = 0; i < 6000; ++i) {
+    xs.push_back(rng.chance(0.5) ? rng.uniform(0.9, 1.1) : rng.uniform(8.9, 9.1));
+  }
+  for (const double x : xs) h.add(x);
+  for (const double q : {0.01, 0.25, 0.49, 0.51, 0.75, 0.95, 0.99}) {
+    expect_brackets(h, xs, q);
+  }
+}
+
+TEST(HistogramSketch, BracketsQuantilesOnHeavyTailWithOverflow) {
+  Rng rng(17);
+  metrics::Histogram h(50.0, 250);
+  std::vector<double> xs;
+  for (int i = 0; i < 8000; ++i) {
+    // Log-normal-ish heavy tail: a visible fraction overflows the sketch.
+    xs.push_back(std::exp(rng.normal(1.5, 1.2)));
+  }
+  for (const double x : xs) h.add(x);
+  EXPECT_GT(h.overflow(), 0u);
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    expect_brackets(h, xs, q);
+  }
+}
+
+TEST(HistogramMerge, ShardedSketchMatchesSinglePassBitExactly) {
+  Rng rng(23);
+  metrics::Histogram whole(20.0, 128);
+  std::vector<metrics::Histogram> shards(7, metrics::Histogram(20.0, 128));
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(6.0);  // some overflow past 20
+    whole.add(x);
+    shards[static_cast<std::size_t>(i) % shards.size()].add(x);
+  }
+  metrics::Histogram merged = merge_pairwise(std::move(shards));
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.overflow(), whole.overflow());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_EQ(merged.buckets(), whole.buckets());
+  // The bucket/overflow state is integer-exact; the running sum is a float
+  // accumulated in a different order, so the mean is ulp-close, not equal.
+  expect_close(merged.mean(), whole.mean(), whole.mean(),
+               16.0 * static_cast<double>(whole.count()));
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(merged.quantile(q), whole.quantile(q));
+  }
+}
+
+TEST(HistogramMerge, RejectsGeometryMismatch) {
+  metrics::Histogram a(10.0, 100);
+  metrics::Histogram b(10.0, 50);
+  metrics::Histogram c(20.0, 100);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+  EXPECT_THROW(a.merge(c), std::logic_error);
+}
+
+TEST(MetricAggregate, MergeMatchesSerialAccumulation) {
+  Rng rng(31);
+  MetricAggregate serial(100.0, 200);
+  std::vector<MetricAggregate> shards(5, MetricAggregate(100.0, 200));
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.uniform(0.0, 120.0));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    serial.add(xs[i]);
+    shards[i % shards.size()].add(xs[i]);
+  }
+  const MetricAggregate merged = merge_pairwise(std::move(shards));
+  EXPECT_EQ(merged.stats().count(), serial.stats().count());
+  // Histogram side is exact; Welford side is within rounding of the serial
+  // order (different summation order).
+  EXPECT_EQ(merged.histogram().buckets(), serial.histogram().buckets());
+  EXPECT_EQ(merged.quantile(0.95), serial.quantile(0.95));
+  expect_close(merged.stats().mean(), serial.stats().mean(),
+               serial.stats().mean(), 16.0 * static_cast<double>(xs.size()));
+  EXPECT_EQ(merged.stats().min(), serial.stats().min());
+  EXPECT_EQ(merged.stats().max(), serial.stats().max());
+}
+
+TEST(CohortAggregateTest, EmptyMergeAndNamePreservation) {
+  CohortAggregate a("alpha");
+  CohortAggregate b("beta");
+  DeviceMetrics m;
+  m.energy_j = 10.0;
+  m.avg_power_mw = 30.0;
+  m.wakeups_per_hour = 12.0;
+  m.delay_norm = 0.4;
+  b.add(m);
+  a.merge(b);
+  EXPECT_EQ(a.cohort, "alpha");
+  EXPECT_EQ(a.devices, 1u);
+  EXPECT_EQ(a.energy_j.stats().mean(), 10.0);
+  EXPECT_EQ(a.delay_norm.quantile(0.5), b.delay_norm.quantile(0.5));
+}
+
+}  // namespace
+}  // namespace simty::fleet

@@ -1,0 +1,38 @@
+// Fixture: deterministic rules in fleet code (linted as src/fleet/...).
+// The fleet sampler keys per-device rng streams off a hand-rolled FNV-1a
+// hash precisely because std::hash and unordered iteration order are
+// implementation-defined; this fixture pins that the linter would catch a
+// regression to either.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+inline unsigned long long cohort_key(const std::string& name) {
+  std::hash<std::string> h;  // LINT-EXPECT: std-hash
+  return h(name);
+}
+
+inline int sample_jitter() {
+  return rand();  // LINT-EXPECT: raw-rand
+}
+
+inline double shard_walltime() {
+  auto t = std::chrono::system_clock::now();  // LINT-EXPECT: wall-clock
+  (void)t;
+  return 0.0;
+}
+
+inline long long sum_weights() {
+  std::unordered_map<int, long long> by_cohort;
+  by_cohort[0] = 1;
+  long long total = 0;
+  for (const auto& kv : by_cohort) {  // LINT-EXPECT: unordered-iter
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -136,6 +136,22 @@ TEST(SimtyLintRules, DeterministicRulesScopedToDeterministicPaths) {
   EXPECT_FALSE(lint_source("src/trace/fixture.cpp", content).empty());
 }
 
+TEST(SimtyLintRules, FleetPathsAreDeterministicScope) {
+  // The fleet sampler/aggregator promise bit-identical serial-vs-parallel
+  // aggregates, so src/fleet is in the deterministic scope: every marked
+  // line in the fixture fires there...
+  check_fixture("fleet_scope.cpp", "src/fleet/fixture.cpp");
+  // ...while the deterministic-only rules (wall-clock, raw-rand, std-hash)
+  // stay silent outside the scope. unordered-iter applies everywhere.
+  const std::string content = read_fixture("fleet_scope.cpp");
+  for (const char* path : {"bench/fixture.cpp", "src/metrics/fixture.cpp"}) {
+    SCOPED_TRACE(path);
+    for (const Finding& f : lint_source(path, content)) {
+      EXPECT_EQ(f.rule, "unordered-iter");
+    }
+  }
+}
+
 TEST(SimtyLintRules, HotPathRulesScopedToSim) {
   const std::string content = read_fixture("std_function.cpp");
   EXPECT_TRUE(lint_source("src/hw/fixture.cpp", content).empty());

@@ -33,10 +33,12 @@ struct Finding {
 /// Path classification; prefixes are '/'-separated and repo-relative.
 struct Options {
   /// Code that must be a pure function of the seed: the discrete-event
-  /// core, the alarm/policy layer, the experiment runner, and the run
-  /// tracer (a nondeterministic tracer would poison the trace-diff gate).
+  /// core, the alarm/policy layer, the experiment runner, the run tracer
+  /// (a nondeterministic tracer would poison the trace-diff gate), and the
+  /// fleet sampler/aggregator (whose bit-identical serial-vs-parallel
+  /// contract is gated in CI).
   std::vector<std::string> deterministic_prefixes = {
-      "src/sim", "src/alarm", "src/exp", "src/policy", "src/trace"};
+      "src/sim", "src/alarm", "src/exp", "src/policy", "src/trace", "src/fleet"};
   /// The event hot path: EventFn instead of std::function, interned
   /// const char* labels instead of std::string.
   std::vector<std::string> hot_path_prefixes = {"src/sim"};

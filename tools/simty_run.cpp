@@ -3,14 +3,78 @@
 //   simty_run --workload heavy --policy all --hours 3 --reps 3 --csv out.csv
 
 #include <cstdio>
+#include <exception>
 
 #include "cli/options.hpp"
+#include "fleet/fleet_runner.hpp"
+#include "fleet/report.hpp"
 #include "power/monitor.hpp"
 #include "exp/reporting.hpp"
 #include "trace/delivery_log.hpp"
 #include "trace/tracer.hpp"
 
 using namespace simty;
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// Fleet mode: one population run per policy; per-device cohorts govern the
+// workload and duration (the scalar --workload/--hours flags don't apply).
+int run_fleet_mode(const cli::RunPlan& plan, trace::Tracer& tracer) {
+  std::vector<fleet::CohortSpec> cohorts;
+  try {
+    cohorts = plan.cohorts_path ? fleet::load_cohort_file(*plan.cohorts_path)
+                                : fleet::default_cohorts();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("fleet: %llu devices, %zu cohorts, seed %llu, jobs %d\n\n",
+              static_cast<unsigned long long>(*plan.fleet_devices),
+              cohorts.size(),
+              static_cast<unsigned long long>(plan.config.seed), plan.jobs);
+  std::vector<fleet::FleetResult> results;
+  for (std::size_t i = 0; i < plan.policies.size(); ++i) {
+    fleet::FleetConfig fc;
+    fc.cohorts = cohorts;
+    fc.devices = *plan.fleet_devices;
+    fc.policy = plan.policies[i];
+    fc.similarity = plan.config.similarity;
+    fc.seed = plan.config.seed;
+    fc.jobs = plan.jobs;
+    const bool last = i + 1 == plan.policies.size();
+    if (last && (plan.trace_path || plan.trace_json_path)) fc.tracer = &tracer;
+    results.push_back(fleet::run_fleet(fc));
+    std::printf("%s\n", fleet::render_fleet_report(results.back()).c_str());
+  }
+  if (plan.fleet_csv_path) {
+    if (!write_file(*plan.fleet_csv_path, fleet::fleet_csv(results))) return 1;
+    std::printf("fleet csv written to %s\n", plan.fleet_csv_path->c_str());
+  }
+  if (plan.trace_path) {
+    tracer.save_binary(*plan.trace_path);
+    std::printf("run trace (%zu events) written to %s\n", tracer.size(),
+                plan.trace_path->c_str());
+  }
+  if (plan.trace_json_path) {
+    tracer.save_chrome_json(*plan.trace_json_path);
+    std::printf("chrome trace (%zu events) written to %s\n", tracer.size(),
+                plan.trace_json_path->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -27,6 +91,7 @@ int main(int argc, char** argv) {
 
   trace::DeliveryLog log;
   trace::Tracer tracer;
+  if (plan.fleet_devices) return run_fleet_mode(plan, tracer);
   power::PowerMonitor waveform_monitor;
   std::vector<exp::NamedResult> columns;
   for (std::size_t i = 0; i < plan.policies.size(); ++i) {
