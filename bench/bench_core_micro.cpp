@@ -1,12 +1,33 @@
 // Microbenchmark of the discrete-event core hot path.
 //
-// Measures the slab-backed 4-ary heap EventQueue against a reference
-// implementation of the previous std::map event queue (node allocation per
-// event, std::function callback, std::string label) on schedule/pop and
-// schedule/cancel churn at one million events, plus AlarmManager
-// insert/rebatch churn. Prints the measured speedups; `--json <path>`
-// additionally writes BENCH_core.json-style records (see bench_json.hpp)
-// so CI accumulates a perf trajectory.
+// Three implementations run the same churn workloads:
+//   soa  — the production sim::EventQueue (struct-of-arrays 4-ary heap:
+//          dense 16-byte keys with the payload slot packed into the order
+//          word, armed-bitset tombstone pruning, pop_batch same-instant
+//          drain).
+//   aos  — bench/reference_event_queue.hpp, the pre-SoA queue retained
+//          verbatim (interleaved heap items, armed flag inside the fat
+//          slot record, indirect-call EventFn moves). Same machine, same
+//          compiler: the soa/aos ratio is the PR's speedup, and CI gates
+//          it absolutely.
+//   map  — the original std::map queue (node allocation per event,
+//          std::function callback, std::string label), kept for scale.
+//
+// The churn legs run two regimes. The deep legs (churn-pop, churn-cancel,
+// burst-pop) keep ~1M events pending — the aggregate fleet population (10k
+// devices x ~100 pending alarms/timers each) that bench_fleet_scale pushes
+// through per tick — where every sift level is a dependent cache miss and
+// the dense-key layout pays: one 64-byte line per sibling group, prefetched
+// a level ahead, versus two-plus unprefetched lines plus a fat-slab touch
+// for the aos baseline. The shallow leg (shallow-pop, 4k pending) is the
+// single-device regime where both heaps sit in L2 and layout is nearly
+// irrelevant; it is tracked to prove the SoA rewrite did not regress the
+// cache-resident path, not to show a win.
+//
+// `--json <path>` writes BENCH_core.json-style records (see bench_json.hpp);
+// `speedup/*` records carry the soa-vs-aos ratio in the events_per_sec
+// field so tools/check_bench_baseline.sh can diff them against
+// bench/BENCH_core_micro.json.
 
 #include <chrono>
 #include <cstdint>
@@ -21,11 +42,13 @@
 #include "alarm/native_policy.hpp"
 #include "alarm/simty_policy.hpp"
 #include "bench_json.hpp"
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "hw/power_bus.hpp"
 #include "hw/power_model.hpp"
+#include "reference_event_queue.hpp"
 #include "sim/event_queue.hpp"
 
 namespace simty {
@@ -37,9 +60,9 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-// The event queue this PR replaced, kept verbatim as the comparison
-// baseline: one map node allocation per event, type-erased heap-allocating
-// callback, owned label string, and a second map for cancellation.
+// The original event queue, kept as the scale baseline: one map node
+// allocation per event, type-erased heap-allocating callback, owned label
+// string, and a second map for cancellation.
 class MapQueue {
  public:
   using Callback = std::function<void()>;
@@ -94,21 +117,24 @@ class MapQueue {
 };
 
 constexpr std::size_t kChurnEvents = 1'000'000;
-constexpr std::size_t kWindow = 4'096;  // pending events kept in flight
+constexpr std::size_t kDeepWindow = 1u << 20;    // fleet-aggregate population
+constexpr std::size_t kShallowWindow = 4'096;    // single-device population
 
-// Steady-state schedule/pop churn: keep kWindow events pending, pop the
+// Steady-state schedule/pop churn: keep `window` events pending, pop the
 // earliest and schedule a replacement, kChurnEvents times. `sink`
 // accumulates into a volatile so the callbacks cannot be optimized out.
+// The prefill is outside the timed region: the legs measure steady-state
+// churn at depth, not heap growth.
 template <typename Schedule, typename Pop>
-double churn_schedule_pop(Schedule schedule, Pop pop) {
+double churn_schedule_pop(std::size_t window, Schedule schedule, Pop pop) {
   Rng rng(1234);
   volatile std::uint64_t sink = 0;
   std::int64_t now_us = 0;
-  const auto start = Clock::now();
-  for (std::size_t i = 0; i < kWindow; ++i) {
+  for (std::size_t i = 0; i < window; ++i) {
     schedule(TimePoint::from_us(now_us + rng.next_below(60'000'000)),
              static_cast<int>(rng.next_below(4)), [&sink] { sink = sink + 1; });
   }
+  const auto start = Clock::now();
   for (std::size_t i = 0; i < kChurnEvents; ++i) {
     auto fired = pop();
     fired.callback();
@@ -119,13 +145,21 @@ double churn_schedule_pop(Schedule schedule, Pop pop) {
   return ms_since(start);
 }
 
-// Schedule/cancel churn: schedule two events per round, cancel one of the
-// two, pop one — the tombstone path (heap) vs. map erase.
+// Schedule/cancel churn against a deep pending window: `window` long-lived
+// events keep the heap at fleet-aggregate depth while each round schedules
+// two near-term events, cancels one of the two, and pops one — the
+// tombstone/prune path under load vs. map erase. Every near-term schedule
+// sifts up through the full depth past the far-future backlog.
 template <typename Schedule, typename Cancel, typename Pop>
-double churn_schedule_cancel(Schedule schedule, Cancel cancel, Pop pop) {
+double churn_schedule_cancel(std::size_t window, Schedule schedule, Cancel cancel,
+                             Pop pop) {
   Rng rng(99);
   volatile std::uint64_t sink = 0;
   std::int64_t now_us = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    schedule(TimePoint::from_us(now_us + 2'000'000 + rng.next_below(600'000'000)), 1,
+             [&sink] { sink = sink + 1; });
+  }
   const auto start = Clock::now();
   for (std::size_t i = 0; i < kChurnEvents / 2; ++i) {
     const auto keep = schedule(TimePoint::from_us(now_us + 1 + rng.next_below(1'000'000)),
@@ -138,6 +172,39 @@ double churn_schedule_cancel(Schedule schedule, Cancel cancel, Pop pop) {
     auto fired = pop();
     fired.callback();
     now_us = fired.when.us();
+  }
+  return ms_since(start);
+}
+
+constexpr std::size_t kBurstSize = 64;
+constexpr std::size_t kBurstRounds = 8'192;       // ~524k events total
+constexpr std::size_t kBurstBackground = 1u << 16;  // far-future pending depth
+
+// Same-instant burst churn over a deep backlog: kBurstBackground far-future
+// events hold the heap at depth, then every round schedules kBurstSize
+// events sharing one (time, priority) firing group and drains them all.
+// The soa queue coalesces the drain with pop_batch — one multi-delete pass
+// detaches the whole group — while the aos queue pays a full-depth
+// sift-down per event.
+template <typename Schedule, typename Drain>
+double churn_burst(Schedule schedule, Drain drain) {
+  Rng rng(4321);
+  volatile std::uint64_t sink = 0;
+  std::int64_t now_us = 0;
+  for (std::size_t i = 0; i < kBurstBackground; ++i) {
+    // 600s+ out: the burst rounds advance `now` ~8s total, so no
+    // background event ever fires during the leg.
+    schedule(TimePoint::from_us(600'000'000 +
+                                static_cast<std::int64_t>(rng.next_below(600'000'000))),
+             1, [&sink] { sink = sink + 1; });
+  }
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < kBurstRounds; ++r) {
+    now_us += 1 + static_cast<std::int64_t>(rng.next_below(1'000'000));
+    for (std::size_t i = 0; i < kBurstSize; ++i) {
+      schedule(TimePoint::from_us(now_us), 1, [&sink] { sink = sink + 1; });
+    }
+    drain(kBurstSize);
   }
   return ms_since(start);
 }
@@ -181,6 +248,90 @@ AlarmChurnResult churn_alarm_queue(std::unique_ptr<alarm::AlignmentPolicy> polic
   return out;
 }
 
+// The soa legs run the queue exactly as a fleet shard does: carved from a
+// per-shard bump arena (hugepage-advised blocks, O(1) reset between runs).
+double run_pop_leg_soa(std::size_t window) {
+  common::Arena arena;
+  sim::EventQueue q(&arena);
+  return churn_schedule_pop(
+      window,
+      [&](TimePoint when, int pri, auto cb) {
+        q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "churn");
+      },
+      [&] { return q.pop(); });
+}
+
+double run_pop_leg_aos(std::size_t window) {
+  bench::ReferenceEventQueue q;
+  return churn_schedule_pop(
+      window,
+      [&](TimePoint when, int pri, auto cb) {
+        q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "churn");
+      },
+      [&] { return q.pop(); });
+}
+
+double run_pop_leg_map(std::size_t window) {
+  MapQueue q;
+  return churn_schedule_pop(
+      window,
+      [&](TimePoint when, int pri, auto cb) { q.schedule(when, pri, std::move(cb), "churn"); },
+      [&] { return q.pop(); });
+}
+
+double run_cancel_leg_soa(std::size_t window) {
+  common::Arena arena;
+  sim::EventQueue q(&arena);
+  return churn_schedule_cancel(
+      window,
+      [&](TimePoint when, int pri, auto cb) {
+        return q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "churn");
+      },
+      [&](sim::EventId id) { return q.cancel(id); }, [&] { return q.pop(); });
+}
+
+double run_cancel_leg_aos(std::size_t window) {
+  bench::ReferenceEventQueue q;
+  return churn_schedule_cancel(
+      window,
+      [&](TimePoint when, int pri, auto cb) {
+        return q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "churn");
+      },
+      [&](sim::EventId id) { return q.cancel(id); }, [&] { return q.pop(); });
+}
+
+double run_burst_leg_soa() {
+  common::Arena arena;
+  sim::EventQueue q(&arena);
+  return churn_burst(
+      [&](TimePoint when, int pri, auto cb) {
+        q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "burst");
+      },
+      [&](std::size_t n) {
+        // One coalesced root-fix pass stages the whole firing group.
+        const std::size_t staged = q.pop_batch();
+        (void)staged;
+        for (std::size_t i = 0; i < n; ++i) {
+          auto fired = q.pop();
+          fired.callback();
+        }
+      });
+}
+
+double run_burst_leg_aos() {
+  bench::ReferenceEventQueue q;
+  return churn_burst(
+      [&](TimePoint when, int pri, auto cb) {
+        q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "burst");
+      },
+      [&](std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+          auto fired = q.pop();
+          fired.callback();
+        }
+      });
+}
+
 }  // namespace
 }  // namespace simty
 
@@ -199,50 +350,48 @@ int main(int argc, char** argv) {
     records.push_back({workload + "/" + impl, wall_ms, eps});
     return eps;
   };
+  // speedup/* records put the ratio in the events_per_sec field — it is
+  // machine-independent (same box, same compiler, both sides measured in
+  // the same process), so the checked-in baseline can gate it absolutely.
+  const auto record_speedup = [&](const std::string& workload, double soa_ms,
+                                  double aos_ms) {
+    const double ratio = aos_ms / soa_ms;
+    t.add_row({"speedup/" + workload, "aos/soa", str_format("%.1f", soa_ms + aos_ms),
+               str_format("%.2f", ratio)});
+    records.push_back({"speedup/" + workload, soa_ms + aos_ms, ratio});
+    return ratio;
+  };
 
-  // -- schedule/pop churn ----------------------------------------------------
-  double heap_ms, map_ms;
-  {
-    sim::EventQueue q;
-    heap_ms = churn_schedule_pop(
-        [&](TimePoint when, int pri, auto cb) {
-          q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb), "churn");
-        },
-        [&] { return q.pop(); });
-  }
-  {
-    MapQueue q;
-    map_ms = churn_schedule_pop(
-        [&](TimePoint when, int pri, auto cb) {
-          q.schedule(when, pri, std::move(cb), "churn");
-        },
-        [&] { return q.pop(); });
-  }
-  const double pop_heap = record("schedule-pop", "heap", heap_ms,
-                                 static_cast<double>(kChurnEvents));
-  const double pop_map = record("schedule-pop", "map", map_ms,
-                                static_cast<double>(kChurnEvents));
+  // -- deep schedule/pop churn (fleet-aggregate population) ------------------
+  const double pop_soa = run_pop_leg_soa(kDeepWindow);
+  const double pop_aos = run_pop_leg_aos(kDeepWindow);
+  record("churn-pop", "soa", pop_soa, static_cast<double>(kChurnEvents));
+  record("churn-pop", "aos", pop_aos, static_cast<double>(kChurnEvents));
+  const double pop_speedup = record_speedup("churn-pop", pop_soa, pop_aos);
 
-  // -- schedule/cancel churn -------------------------------------------------
-  {
-    sim::EventQueue q;
-    heap_ms = churn_schedule_cancel(
-        [&](TimePoint when, int pri, auto cb) {
-          return q.schedule(when, static_cast<sim::EventPriority>(pri), std::move(cb),
-                            "churn");
-        },
-        [&](sim::EventId id) { return q.cancel(id); }, [&] { return q.pop(); });
-  }
-  {
-    MapQueue q;
-    map_ms = churn_schedule_cancel(
-        [&](TimePoint when, int pri, auto cb) {
-          return q.schedule(when, pri, std::move(cb), "churn");
-        },
-        [&](std::uint64_t id) { return q.cancel(id); }, [&] { return q.pop(); });
-  }
-  record("schedule-cancel", "heap", heap_ms, static_cast<double>(kChurnEvents));
-  record("schedule-cancel", "map", map_ms, static_cast<double>(kChurnEvents));
+  // -- deep schedule/cancel churn --------------------------------------------
+  const double cancel_soa = run_cancel_leg_soa(kDeepWindow);
+  const double cancel_aos = run_cancel_leg_aos(kDeepWindow);
+  record("churn-cancel", "soa", cancel_soa, static_cast<double>(kChurnEvents));
+  record("churn-cancel", "aos", cancel_aos, static_cast<double>(kChurnEvents));
+  const double cancel_speedup = record_speedup("churn-cancel", cancel_soa, cancel_aos);
+
+  // -- same-instant burst churn over a deep backlog --------------------------
+  const double burst_events = static_cast<double>(kBurstSize * kBurstRounds);
+  const double burst_soa = run_burst_leg_soa();
+  const double burst_aos = run_burst_leg_aos();
+  record("burst-pop", "soa", burst_soa, burst_events);
+  record("burst-pop", "aos", burst_aos, burst_events);
+  const double burst_speedup = record_speedup("burst-pop", burst_soa, burst_aos);
+
+  // -- shallow schedule/pop churn (single-device population) -----------------
+  const double shallow_soa = run_pop_leg_soa(kShallowWindow);
+  const double shallow_aos = run_pop_leg_aos(kShallowWindow);
+  const double shallow_map = run_pop_leg_map(kShallowWindow);
+  record("shallow-pop", "soa", shallow_soa, static_cast<double>(kChurnEvents));
+  record("shallow-pop", "aos", shallow_aos, static_cast<double>(kChurnEvents));
+  record("shallow-pop", "map", shallow_map, static_cast<double>(kChurnEvents));
+  const double shallow_speedup = record_speedup("shallow-pop", shallow_soa, shallow_aos);
 
   // -- alarm queue maintenance churn ----------------------------------------
   {
@@ -254,7 +403,10 @@ int main(int argc, char** argv) {
 
   std::printf("Core micro: discrete-event hot path (1e6-event churn)\n");
   std::printf("%s\n", t.render().c_str());
-  std::printf("schedule-pop speedup (heap vs map): %.2fx\n", pop_heap / pop_map);
+  std::printf("churn-pop speedup (soa vs aos, deep): %.2fx\n", pop_speedup);
+  std::printf("churn-cancel speedup (soa vs aos, deep): %.2fx\n", cancel_speedup);
+  std::printf("burst-pop speedup (soa vs aos): %.2fx\n", burst_speedup);
+  std::printf("shallow-pop speedup (soa vs aos): %.2fx\n", shallow_speedup);
 
   if (json_path) {
     if (!bench::write_bench_json(*json_path, records)) {

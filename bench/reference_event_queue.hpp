@@ -1,0 +1,272 @@
+#pragma once
+// The pre-SoA event queue, retained verbatim as a live bench baseline.
+//
+// This is the slab-backed 4-ary min-heap exactly as it shipped before the
+// struct-of-arrays rewrite: heap nodes interleave the 20-byte key with the
+// slot index (~24 bytes padded, so a sibling group spans two-plus cache
+// lines), the armed/tombstone flag lives inside the fat Slot record (a
+// random ~150-byte-stride slab touch on every root prune), and there is no
+// same-instant batch pop. bench_core_micro runs the same churn workloads
+// against this and the production sim::EventQueue and emits the ratio as
+// speedup/* records — a same-machine, same-compiler comparison that CI can
+// gate against the checked-in baseline ratio, unlike raw events/sec which
+// shift with hardware.
+//
+// Deliberately NOT deduplicated against src/sim: the whole point is that
+// this copy stays frozen while the production queue evolves. That includes
+// the callback wrapper: ReferenceEventFn below is the pre-PR EventFn, which
+// paid an indirect call per move and per destroy even for trivially
+// relocatable captures — the production EventFn memcpy fast path is part of
+// the measured hot-path work, so the baseline must not inherit it.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"  // EventId, EventPriority, Fired shape
+
+namespace simty::bench {
+
+/// Pre-PR inline-storage callback (frozen): every move and destroy goes
+/// through an indirect Ops call, with no trivial-relocation fast path.
+class ReferenceEventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 112;
+
+  ReferenceEventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, ReferenceEventFn>>>
+  ReferenceEventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "requires a void() callable");
+    static_assert(sizeof(Fn) <= kInlineBytes, "capture too large");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t), "over-aligned capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>, "must be nothrow-movable");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = ops_for<Fn>();
+  }
+
+  ReferenceEventFn(ReferenceEventFn&& other) noexcept { move_from(other); }
+  ReferenceEventFn& operator=(ReferenceEventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ReferenceEventFn(const ReferenceEventFn&) = delete;
+  ReferenceEventFn& operator=(const ReferenceEventFn&) = delete;
+
+  ~ReferenceEventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static const Ops* ops_for() {
+    static constexpr Ops ops{
+        [](void* self) { (*static_cast<Fn*>(self))(); },
+        [](void* src, void* dst) noexcept {
+          Fn* from = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        },
+        [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  void move_from(ReferenceEventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+/// Pre-PR array-of-structs event queue (frozen baseline).
+class ReferenceEventQueue {
+ public:
+  ReferenceEventQueue() = default;
+
+  ReferenceEventQueue(const ReferenceEventQueue&) = delete;
+  ReferenceEventQueue& operator=(const ReferenceEventQueue&) = delete;
+
+  sim::EventId schedule(TimePoint when, sim::EventPriority priority,
+                        ReferenceEventFn cb, const char* label = "") {
+    SIMTY_CHECK_MSG(static_cast<bool>(cb), "ReferenceEventQueue: empty callback");
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slab_[idx];
+    s.callback = std::move(cb);
+    s.label = label != nullptr ? label : "";
+    s.when_us = when.us();
+    s.order = (static_cast<std::uint64_t>(priority) << 60) | seq;
+    s.armed = true;
+    heap_push(HeapItem{s.when_us, s.order, idx});
+    ++live_;
+    return sim::EventId{(static_cast<std::uint64_t>(s.generation) << 32) | idx};
+  }
+
+  bool cancel(sim::EventId id) {
+    const auto idx = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+    if (idx >= slab_.size()) return false;
+    Slot& s = slab_[idx];
+    if (!s.armed || s.generation != gen) return false;
+    s.armed = false;
+    s.callback.reset();
+    --live_;
+    prune_root();
+    return true;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  TimePoint next_time() const {
+    SIMTY_CHECK_MSG(live_ > 0, "ReferenceEventQueue::next_time on empty queue");
+    return TimePoint::from_us(heap_.front().when_us);
+  }
+
+  struct Fired {
+    TimePoint when;
+    ReferenceEventFn callback;
+    const char* label = "";
+    sim::EventPriority priority = sim::EventPriority::kFramework;
+  };
+
+  Fired pop() {
+    SIMTY_CHECK_MSG(live_ > 0, "ReferenceEventQueue::pop on empty queue");
+    const std::uint32_t idx = heap_.front().slot;
+    Slot& s = slab_[idx];
+    Fired fired{TimePoint::from_us(s.when_us), std::move(s.callback), s.label,
+                static_cast<sim::EventPriority>(s.order >> 60)};
+    release_slot(idx);
+    heap_pop_root();
+    --live_;
+    prune_root();
+    return fired;
+  }
+
+  std::size_t slab_slots() const { return slab_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    ReferenceEventFn callback;
+    const char* label = "";
+    std::int64_t when_us = 0;
+    std::uint64_t order = 0;       // (priority << 60) | seq
+    std::uint32_t generation = 1;  // bumped on release; 0 is never live
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;  // false = tombstone awaiting root pruning
+  };
+
+  struct HeapItem {
+    std::int64_t when_us;
+    std::uint64_t order;
+    std::uint32_t slot;
+  };
+
+  static bool item_less(const HeapItem& a, const HeapItem& b) {
+    if (a.when_us != b.when_us) return a.when_us < b.when_us;
+    return a.order < b.order;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slab_[idx].next_free;
+      slab_[idx].next_free = kNilSlot;
+      return idx;
+    }
+    SIMTY_CHECK_MSG(slab_.size() < kNilSlot,
+                    "ReferenceEventQueue: slab index space exhausted");
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+  }
+
+  void release_slot(std::uint32_t idx) {
+    Slot& s = slab_[idx];
+    s.callback.reset();
+    s.armed = false;
+    s.label = "";
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  void heap_push(HeapItem item) {
+    heap_.push_back(item);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!item_less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void heap_pop_root() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (item_less(heap_[c], heap_[best])) best = c;
+      }
+      if (!item_less(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  void prune_root() {
+    while (!heap_.empty() && !slab_[heap_.front().slot].armed) {
+      release_slot(heap_.front().slot);
+      heap_pop_root();
+    }
+  }
+
+  std::vector<Slot> slab_;
+  std::vector<HeapItem> heap_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace simty::bench

@@ -11,10 +11,15 @@ namespace simty::alarm {
 
 AlarmManager::AlarmManager(sim::Simulator& sim, hw::Device& device, hw::Rtc& rtc,
                            hw::WakelockManager& wakelocks,
-                           std::unique_ptr<AlignmentPolicy> policy)
+                           std::unique_ptr<AlignmentPolicy> policy,
+                           common::Arena* arena)
     : sim_(sim), device_(device), rtc_(rtc), wakelocks_(wakelocks),
       policy_(std::move(policy)) {
   SIMTY_CHECK(policy_ != nullptr);
+  if (arena != nullptr) {
+    indices_[0].set_arena(arena);
+    indices_[1].set_arena(arena);
+  }
   device_.add_wake_listener([this](hw::WakeReason r) { on_device_wake(r); });
 }
 

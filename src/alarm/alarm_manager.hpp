@@ -98,10 +98,13 @@ class AlarmManager {
     std::uint64_t handler_failures = 0;    // app handlers that threw
   };
 
-  /// All dependencies must outlive the manager.
+  /// All dependencies must outlive the manager. A non-null `arena` backs
+  /// the batch-index node slabs (per-shard in the fleet runner); it must
+  /// outlive the manager and must not be reset while it lives.
   AlarmManager(sim::Simulator& sim, hw::Device& device, hw::Rtc& rtc,
                hw::WakelockManager& wakelocks,
-               std::unique_ptr<AlignmentPolicy> policy);
+               std::unique_ptr<AlignmentPolicy> policy,
+               common::Arena* arena = nullptr);
 
   AlarmManager(const AlarmManager&) = delete;
   AlarmManager& operator=(const AlarmManager&) = delete;

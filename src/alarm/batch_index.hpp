@@ -29,6 +29,7 @@
 
 #include "alarm/batch.hpp"
 #include "alarm/policy.hpp"
+#include "common/arena.hpp"
 #include "common/interval.hpp"
 
 namespace simty::alarm {
@@ -39,6 +40,14 @@ namespace simty::alarm {
 class BatchIndex {
  public:
   BatchIndex() = default;
+
+  /// Backs the node slab with `arena` (per-shard in the fleet runner, so
+  /// repeated runs reuse storage). Only legal before the first insert; the
+  /// arena must outlive the index and must not be reset while it lives.
+  void set_arena(common::Arena* arena) {
+    nodes_.set_arena(arena);
+    free_.set_arena(arena);
+  }
 
   std::size_t size() const { return slots_.size(); }
   bool empty() const { return slots_.empty(); }
@@ -65,10 +74,12 @@ class BatchIndex {
                std::vector<std::size_t>& out) const;
 
   /// Every indexed batch in key order — for invariant audits only.
+  // simty-lint: allow(hot-path-owning)
   std::vector<const Batch*> entries_inorder() const;
 
   /// Verifies internal invariants (BST order, heap order, max-end
   /// augmentation, slot bookkeeping); returns human-readable violations.
+  // simty-lint: allow(hot-path-owning)
   std::vector<std::string> check_invariants() const;
 
  private:
@@ -98,12 +109,14 @@ class BatchIndex {
                     const TimeInterval& interval, EntryIntervalKind kind,
                     std::vector<std::size_t>& out) const;
 
-  std::vector<Node> nodes_;          // slab; free slots recycled
-  std::vector<std::int32_t> free_;   // recyclable slots
+  common::ArenaVector<Node> nodes_;          // slab; free slots recycled
+  common::ArenaVector<std::int32_t> free_;   // recyclable slots
   std::int32_t root_ = -1;
   std::uint64_t next_seq_ = 1;
   /// Erase lookup only — never iterated, so the pointer ordering cannot
-  /// leak into any deterministic result.
+  /// leak into any deterministic result. Owning map is deliberate: erase
+  /// needs stable log-time lookup, and rebuilds reuse the node slab.
+  // simty-lint: allow(hot-path-owning)
   std::map<const Batch*, std::int32_t> slots_;
 };
 

@@ -84,7 +84,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   const trace::TraceScope trace_scope(config.tracer);
   SIMTY_TRACE_SPAN_BEGIN(TimePoint::origin(), trace::TraceCategory::kExp, "run",
                          static_cast<std::int64_t>(config.seed));
-  sim::Simulator sim;
+  sim::Simulator sim(config.arena_opts.arena);
   hw::PowerBus bus;
   power::EnergyAccountant accountant;
   power::PowerMonitor monitor;
@@ -98,7 +98,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
   hw::Device device(sim, model, bus);
   hw::Rtc rtc(sim, device);
   hw::WakelockManager wakelocks(sim, model, bus);
-  alarm::AlarmManager manager(sim, device, rtc, wakelocks, make_policy(config));
+  alarm::AlarmManager manager(sim, device, rtc, wakelocks, make_policy(config),
+                              config.arena_opts.arena);
 
   metrics::DelayStats delays;
   metrics::WakeupAccounting wakeup_accounting;

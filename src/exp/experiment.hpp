@@ -15,6 +15,7 @@
 #include "apps/system_alarms.hpp"
 #include "apps/workload.hpp"
 #include "hw/power_model.hpp"
+#include "common/arena.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
@@ -77,6 +78,19 @@ struct ExperimentConfig {
   /// makes serial-vs-parallel trace comparison a meaningful determinism
   /// check. Must outlive the run; not thread-safe across runs.
   trace::Tracer* tracer = nullptr;
+
+  /// Per-run storage backing. A non-null arena is threaded behind the
+  /// run's event-queue slabs and batch-index nodes, so a caller that runs
+  /// many experiments back to back (the fleet shard loop, sweep
+  /// repetitions) can reset() between runs instead of reallocating.
+  /// Presence of an arena never changes any result bit. The arena must
+  /// outlive the run and, being single-threaded, forces the serial path in
+  /// run_repeated (the parallel runner injects its own per-worker arenas
+  /// when the config carries none).
+  struct ArenaOptions {
+    common::Arena* arena = nullptr;
+  };
+  ArenaOptions arena_opts;
 };
 
 /// All metrics of one run (or the mean over several runs; counts become

@@ -5,9 +5,26 @@
 #include <future>
 #include <thread>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 
 namespace simty::exp {
+
+namespace {
+
+/// Runs one config on `arena` storage when the caller supplied none of its
+/// own. Reset-then-run: every run starts from offset zero, so repetition
+/// i + 1 reuses the blocks repetition i grew — the sweep's steady state
+/// allocates nothing per run.
+RunResult run_on_arena(ExperimentConfig config, common::Arena& arena) {
+  if (config.arena_opts.arena == nullptr) {
+    arena.reset();
+    config.arena_opts.arena = &arena;
+  }
+  return run_experiment(config);
+}
+
+}  // namespace
 
 ParallelRunner::ParallelRunner(int jobs) : jobs_(std::max(jobs, 1)) {}
 
@@ -24,10 +41,19 @@ std::vector<RunResult> ParallelRunner::run(
     const std::vector<ExperimentConfig>& configs) const {
   std::vector<RunResult> results;
   results.reserve(configs.size());
-  const std::size_t fanout =
+  std::size_t fanout =
       std::min(static_cast<std::size_t>(jobs_), configs.size());
+  // A caller-supplied arena is single-threaded state shared by every run
+  // that carries it: those sweeps must not fan out.
+  for (const ExperimentConfig& c : configs) {
+    if (c.arena_opts.arena != nullptr) {
+      fanout = 1;
+      break;
+    }
+  }
   if (fanout <= 1) {
-    for (const ExperimentConfig& c : configs) results.push_back(run_experiment(c));
+    common::Arena arena;
+    for (const ExperimentConfig& c : configs) results.push_back(run_on_arena(c, arena));
     return results;
   }
 
@@ -35,7 +61,13 @@ std::vector<RunResult> ParallelRunner::run(
   std::vector<std::future<RunResult>> futures;
   futures.reserve(configs.size());
   for (const ExperimentConfig& c : configs) {
-    futures.push_back(pool.submit([config = c] { return run_experiment(config); }));
+    futures.push_back(pool.submit([config = c] {
+      // One arena per worker thread, reused across every run the worker
+      // picks up (arena presence never changes a result bit, so the
+      // serial-vs-parallel identity contract is untouched).
+      thread_local common::Arena worker_arena;
+      return run_on_arena(config, worker_arena);
+    }));
   }
   // get() in submission order: the reduction sees results in exactly the
   // order the serial loop would have produced them.

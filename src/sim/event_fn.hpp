@@ -11,6 +11,8 @@
 // or raise kInlineBytes if it ever fires).
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -64,7 +66,7 @@ class EventFn {
   /// Destroys the stored callable (if any), leaving the EventFn empty.
   void reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }
@@ -72,20 +74,32 @@ class EventFn {
  private:
   struct Ops {
     void (*invoke)(void* self);
-    void (*relocate)(void* src, void* dst) noexcept;  // move-construct + destroy src
-    void (*destroy)(void* self) noexcept;
+    /// move-construct into dst + destroy src; null when a memcpy of `size`
+    /// bytes is equivalent (trivially copyable + trivially destructible —
+    /// nearly every in-tree capture, a pointer or two). The event-queue
+    /// slab moves callbacks on every schedule and pop; the null check is a
+    /// predicted branch, the indirect call it replaces is not free.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;  // null when trivially destructible
+    std::uint32_t size;                    // sizeof the stored callable
   };
 
   template <typename Fn>
   static const Ops* ops_for() {
+    constexpr bool kTrivial =
+        std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
     static constexpr Ops ops{
         [](void* self) { (*static_cast<Fn*>(self))(); },
-        [](void* src, void* dst) noexcept {
-          Fn* from = static_cast<Fn*>(src);
-          ::new (dst) Fn(std::move(*from));
-          from->~Fn();
-        },
-        [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+        kTrivial ? nullptr
+                 : +[](void* src, void* dst) noexcept {
+                     Fn* from = static_cast<Fn*>(src);
+                     ::new (dst) Fn(std::move(*from));
+                     from->~Fn();
+                   },
+        std::is_trivially_destructible_v<Fn>
+            ? nullptr
+            : +[](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+        static_cast<std::uint32_t>(sizeof(Fn)),
     };
     return &ops;
   }
@@ -93,13 +107,20 @@ class EventFn {
   void move_from(EventFn& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
+      if (ops_->relocate == nullptr) {
+        std::memcpy(storage_, other.storage_, ops_->size);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
       other.ops_ = nullptr;
     }
   }
 
-  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  // ops_ sits in front of the storage so the emptiness check and a small
+  // capture share one cache line (the event-queue slab walks these at
+  // 128-byte stride; most captures are a pointer or two).
   const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
 };
 
 }  // namespace simty::sim

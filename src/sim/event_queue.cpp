@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 
@@ -9,45 +10,123 @@
 
 namespace simty::sim {
 
+namespace {
+
+// Transparent FNV-1a hasher/equality so interner lookups hash the incoming
+// string_view directly — the shared-lock fast path allocates nothing.
+struct LabelHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+  // Interner-only overload for the pool's own elements; never on the
+  // per-event path.
+  // simty-lint: allow(string-label)
+  std::size_t operator()(const std::string& s) const noexcept {
+    return (*this)(std::string_view(s));
+  }
+};
+
+struct LabelEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+}  // namespace
+
 const char* intern_label(std::string_view label) {
   // Node-based set: element addresses are stable across rehashing. The pool
-  // is global (labels outlive every queue) and mutexed (the parallel runner
-  // drives one simulator per worker thread).
-  static std::mutex mu;
+  // is global (labels outlive every queue) and read-mostly — after warmup
+  // every lookup hits the shared-lock fast path, so labeled events do not
+  // serialize fleet shards on a mutex.
+  static std::shared_mutex mu;
   // The interner is the one sanctioned owner of label strings: each label is
   // copied exactly once, ever, and the hot path only sees the c_str().
-  static std::unordered_set<std::string> pool;  // simty-lint: allow(string-label)
-  const std::lock_guard<std::mutex> lock(mu);
+  // simty-lint: allow(string-label, hot-path-owning)
+  static std::unordered_set<std::string, LabelHash, LabelEq> pool;
+  {
+    const std::shared_lock<std::shared_mutex> read(mu);
+    const auto it = pool.find(label);
+    // Membership probe, not iteration — order never observed.
+    // simty-lint: allow(unordered-iter)
+    if (it != pool.end()) return it->c_str();
+  }
+  const std::unique_lock<std::shared_mutex> write(mu);
   return pool.emplace(label).first->c_str();
+}
+
+EventQueue::EventQueue() : EventQueue(nullptr) {}
+
+EventQueue::EventQueue(common::Arena* arena)
+    : keys_(arena), callbacks_(arena), meta_(arena), armed_words_(arena),
+      staged_words_(arena), staged_(arena), scratch_pos_(arena),
+      scratch_stack_(arena) {
+  // Physical indices 0..kRoot-1 are padding so sibling groups are
+  // cache-line-aligned; their keys are never read.
+  keys_.resize(kRoot);
 }
 
 EventId EventQueue::schedule(TimePoint when, EventPriority priority, EventFn cb,
                              const char* label) {
   SIMTY_CHECK_MSG(static_cast<bool>(cb), "EventQueue::schedule: empty callback");
   const std::uint64_t seq = next_seq_++;
-  const std::uint32_t idx = acquire_slot();
-  Slot& s = slab_[idx];
-  s.callback = std::move(cb);
-  s.label = label != nullptr ? label : "";
-  s.when_us = when.us();
-  s.order = (static_cast<std::uint64_t>(priority) << 60) | seq;
-  s.armed = true;
-  heap_push(HeapItem{s.when_us, s.order, idx});
+  SIMTY_CHECK_MSG(seq <= kMaxSeq, "EventQueue: sequence space exhausted");
+  std::uint32_t idx = free_head_;
+  if (idx != kNilSlot) {
+    // Recycled slot: its slab lines are cold after a long churn. Kick off
+    // both loads, run the sift-up while they are in flight, and only then
+    // touch the slab (the free-list link lives in the meta line just
+    // fetched).
+    __builtin_prefetch(&callbacks_[idx], 1);
+    __builtin_prefetch(&meta_[idx], 1);
+    heap_push(Key{static_cast<std::uint64_t>(when.us()) ^ kWhenBias,
+                  (static_cast<std::uint64_t>(priority) << 60) | (seq << 32) | idx});
+    free_head_ = meta_[idx].next_free;
+    meta_[idx].next_free = kNilSlot;
+  } else {
+    idx = acquire_slot();
+    heap_push(Key{static_cast<std::uint64_t>(when.us()) ^ kWhenBias,
+                  (static_cast<std::uint64_t>(priority) << 60) | (seq << 32) | idx});
+  }
+  callbacks_[idx] = std::move(cb);
+  meta_[idx].label = label != nullptr ? label : "";
+  set_armed(idx);
   ++live_;
-  return EventId{(static_cast<std::uint64_t>(s.generation) << 32) | idx};
+  return EventId{(static_cast<std::uint64_t>(meta_[idx].generation) << 32) | idx};
 }
 
 bool EventQueue::cancel(EventId id) {
   const auto idx = static_cast<std::uint32_t>(id.value & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id.value >> 32);
-  if (idx >= slab_.size()) return false;
-  Slot& s = slab_[idx];
-  if (!s.armed || s.generation != gen) return false;
+  if (idx >= callbacks_.size()) return false;
+  if (!armed(idx) || meta_[idx].generation != gen) return false;
+  if (staged_bit(idx)) {
+    // The event was already detached from the heap by pop_batch(): drop it
+    // from the staged buffer and recycle the slot immediately (it was at or
+    // next to the root, which is when the old root-prune would have run).
+    for (std::size_t i = staged_next_; i < staged_.size(); ++i) {
+      if (staged_[i].slot == idx) {
+        staged_[i].slot = kNilSlot;
+        break;
+      }
+    }
+    clear_staged_bit(idx);
+    release_slot(idx);
+    --live_;
+    return true;
+  }
   // Lazy cancellation: tombstone the slot; the heap node is recycled when
   // it surfaces at the root. Drop the callback now so captured resources
   // are released at cancel time, not at some later pop.
-  s.armed = false;
-  s.callback.reset();
+  clear_armed(idx);
+  callbacks_[idx].reset();
   --live_;
   prune_root();
   return true;
@@ -55,83 +134,279 @@ bool EventQueue::cancel(EventId id) {
 
 TimePoint EventQueue::next_time() const {
   SIMTY_CHECK_MSG(live_ > 0, "EventQueue::next_time on empty queue");
-  // prune_root() runs after every cancel/pop, so a non-empty queue's root
-  // is always a live event.
-  return TimePoint::from_us(heap_.front().when_us);
+  // Skip recycled/tombstoned staged entries without mutating (sync_staged
+  // does the actual recycling on the next pop/has_staged call).
+  std::size_t i = staged_next_;
+  while (i < staged_.size() &&
+         (staged_[i].slot == kNilSlot || !armed(staged_[i].slot))) {
+    ++i;
+  }
+  if (i < staged_.size()) {
+    // A callback may have scheduled an earlier-key event since the batch
+    // was detached; the earliest pending is the min of both sources.
+    if (heap_empty() || !key_less(keys_[kRoot], staged_[i].key)) {
+      return key_time(staged_[i].key);
+    }
+  }
+  // live_ > 0 and no live staged event => the heap root is live (prune
+  // invariant maintained after every heap mutation).
+  return key_time(keys_[kRoot]);
 }
 
 EventQueue::Fired EventQueue::pop() {
   SIMTY_CHECK_MSG(live_ > 0, "EventQueue::pop on empty queue");
-  const std::uint32_t idx = heap_.front().slot;
-  Slot& s = slab_[idx];
-  Fired fired{TimePoint::from_us(s.when_us), std::move(s.callback), s.label,
-              static_cast<EventPriority>(s.order >> 60)};
-  release_slot(idx);
-  heap_pop_root();
-  --live_;
+  if (sync_staged()) {
+    const Staged e = staged_[staged_next_];
+    if (heap_empty() || !key_less(keys_[kRoot], e.key)) {
+      ++staged_next_;
+      Fired fired{key_time(e.key), std::move(callbacks_[e.slot]),
+                  meta_[e.slot].label, key_priority(e.key)};
+      clear_staged_bit(e.slot);
+      release_slot(e.slot);
+      --live_;
+      return fired;
+    }
+    // A newly scheduled event outran the staged batch (same instant, higher
+    // priority): fire it first, exactly as k independent pops would.
+  }
+  return pop_root();
+}
+
+std::size_t EventQueue::pop_batch() {
+  SIMTY_CHECK_MSG(live_ > 0, "EventQueue::pop_batch on empty queue");
+  SIMTY_CHECK_MSG(!sync_staged(), "EventQueue::pop_batch with staged events pending");
+  const Key root_key = keys_[kRoot];
+  const std::size_t n = keys_.size();
+  // Fast path: no same-(time, priority) child under the root means the
+  // group is the root alone — leave it for the plain pop() path.
+  const std::size_t first = 4 * kRoot - 8;
+  const std::size_t last = std::min(first + 4, n);
+  bool multi = false;
+  for (std::size_t c = first; c < last; ++c) {
+    if (same_group(keys_[c], root_key)) {
+      multi = true;
+      break;
+    }
+  }
+  if (!multi) return 1;
+
+  // Collect the matched subtree. Every event with the root's (time,
+  // priority) is reachable from the root through matching nodes: an
+  // ancestor of a matching node has a key between the root key and the
+  // node's key, and the only keys in that range share (time, priority).
+  scratch_pos_.clear();
+  scratch_stack_.clear();
+  scratch_stack_.push_back(static_cast<std::uint32_t>(kRoot));
+  while (!scratch_stack_.empty()) {
+    const std::size_t pos = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    scratch_pos_.push_back(static_cast<std::uint32_t>(pos));
+    const std::size_t cfirst = 4 * pos - 8;
+    const std::size_t clast = std::min(cfirst + 4, n);
+    for (std::size_t c = cfirst; c < clast; ++c) {
+      if (same_group(keys_[c], root_key)) {
+        scratch_stack_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+
+  // Stage the group in sequence order. Tombstones ride along as dead
+  // entries so their slots are recycled at the same point in the hand-out
+  // sequence where the old per-pop root prune would have recycled them.
+  std::size_t live_staged = 0;
+  for (const std::uint32_t pos : scratch_pos_) {
+    staged_.push_back(Staged{keys_[pos], key_slot(keys_[pos])});
+  }
+  std::sort(staged_.begin(), staged_.end(),
+            [](const Staged& a, const Staged& b) { return a.key.order < b.key.order; });
+  for (const Staged& e : staged_) {
+    if (armed(e.slot)) {
+      set_staged_bit(e.slot);
+      ++live_staged;
+    }
+  }
+
+  // Multi-delete: remove positions in descending physical order, back-
+  // filling each hole from the heap tail. Only sift-down is needed: any
+  // not-yet-removed ancestor of a hole is itself matched, so it holds a
+  // minimal (time, priority) key that no back-filled element can undercut.
+  std::sort(scratch_pos_.begin(), scratch_pos_.end(),
+            [](std::uint32_t a, std::uint32_t b) { return a > b; });
+  for (const std::uint32_t pos : scratch_pos_) {
+    const std::size_t tail = keys_.size() - 1;
+    if (pos != tail) keys_[pos] = keys_[tail];
+    keys_.pop_back();
+    if (pos != tail) sift_down(pos);
+  }
   prune_root();
-  return fired;
+  return live_staged;
 }
 
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kNilSlot) {
     const std::uint32_t idx = free_head_;
-    free_head_ = slab_[idx].next_free;
-    slab_[idx].next_free = kNilSlot;
+    free_head_ = meta_[idx].next_free;
+    meta_[idx].next_free = kNilSlot;
     return idx;
   }
-  SIMTY_CHECK_MSG(slab_.size() < kNilSlot, "EventQueue: slab index space exhausted");
-  slab_.emplace_back();
-  return static_cast<std::uint32_t>(slab_.size() - 1);
+  SIMTY_CHECK_MSG(callbacks_.size() < kNilSlot, "EventQueue: slab index space exhausted");
+  const auto idx = static_cast<std::uint32_t>(callbacks_.size());
+  callbacks_.emplace_back();
+  meta_.emplace_back();
+  if ((idx & 63u) == 0) {
+    armed_words_.push_back(0);
+    staged_words_.push_back(0);
+  }
+  return idx;
 }
 
 void EventQueue::release_slot(std::uint32_t idx) {
-  Slot& s = slab_[idx];
-  s.callback.reset();
-  s.armed = false;
-  s.label = "";
+  callbacks_[idx].reset();
+  clear_armed(idx);
+  SlotMeta& m = meta_[idx];
+  m.label = "";
   // Invalidate every outstanding EventId naming this slot before it is
   // recycled (cancel-after-fire must return false, not hit the new tenant).
-  ++s.generation;
-  s.next_free = free_head_;
+  ++m.generation;
+  m.next_free = free_head_;
   free_head_ = idx;
 }
 
-void EventQueue::heap_push(HeapItem item) {
-  heap_.push_back(item);
-  std::size_t i = heap_.size() - 1;
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!item_less(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
+void EventQueue::heap_push(Key key) {
+  keys_.push_back(key);
+  std::size_t pos = keys_.size() - 1;
+  if (pos > kRoot) {
+    std::size_t parent = (pos + 8) / 4;
+    if (key_less(key, keys_[parent])) {
+      // The entry ascends at least one level; a near-term event over a deep
+      // far-future backlog usually ascends most of the way. Ancestor
+      // positions are pure arithmetic — no data dependency — so issue the
+      // whole chain of prefetches now and overlap what would otherwise be
+      // one serial cache miss per level.
+      for (std::size_t a = (parent + 8) / 4; a > kRoot; a = (a + 8) / 4) {
+        __builtin_prefetch(&keys_[a]);
+      }
+      // Hole-based sift-up: shift losers down, write the new entry once.
+      do {
+        keys_[pos] = keys_[parent];
+        pos = parent;
+        parent = (pos + 8) / 4;
+      } while (pos > kRoot && key_less(key, keys_[parent]));
+    }
   }
+  keys_[pos] = key;
 }
 
-void EventQueue::heap_pop_root() {
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  std::size_t i = 0;
+void EventQueue::sift_down(std::size_t pos) {
+  const std::size_t n = keys_.size();
+  const Key key = keys_[pos];
+  const std::size_t start = pos;
+  // Bottom-up sift (Wegener's heapsort trick): the sifted key comes from
+  // the heap tail, so it almost always belongs near a leaf. Walk the
+  // min-child path all the way down without comparing against `key` —
+  // that per-level compare is the one unpredictable branch in the classic
+  // loop — then sift the key back up the hole path (expected O(1) steps).
   for (;;) {
-    const std::size_t first = 4 * i + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < last; ++c) {
-      if (item_less(heap_[c], heap_[best])) best = c;
+    const std::size_t first = 4 * pos - 8;
+    if (first + 3 < n) {
+      // The grandchildren of a sibling group are 16 contiguous keys (4
+      // cache lines): prefetch them all before picking the min child, so
+      // the next level's loads are in flight regardless of which child
+      // wins. The branchless min below serializes the descent on a cmov
+      // chain — without this prefetch each level would pay a full cache
+      // miss back to back.
+      const std::size_t grand = 4 * first - 8;
+      if (grand < n) {
+        __builtin_prefetch(&keys_[grand]);
+        __builtin_prefetch(&keys_[grand] + 4);
+        __builtin_prefetch(&keys_[grand] + 8);
+        __builtin_prefetch(&keys_[grand] + 12);
+      }
+      // Full sibling group: branchless min-of-4 on the widened keys.
+      KeyWord best_w = key_word(keys_[first]);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < first + 4; ++c) {
+        const KeyWord w = key_word(keys_[c]);
+        const bool lt = w < best_w;
+        best = lt ? c : best;
+        best_w = lt ? w : best_w;
+      }
+      keys_[pos] = keys_[best];
+      pos = best;
+    } else if (first < n) {
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (key_less(keys_[c], keys_[best])) best = c;
+      }
+      keys_[pos] = keys_[best];
+      pos = best;
+    } else {
+      break;
     }
-    if (!item_less(heap_[best], heap_[i])) break;
-    std::swap(heap_[i], heap_[best]);
-    i = best;
   }
+  while (pos > start) {
+    const std::size_t parent = (pos + 8) / 4;
+    if (!key_less(key, keys_[parent])) break;
+    keys_[pos] = keys_[parent];
+    pos = parent;
+  }
+  keys_[pos] = key;
+}
+
+void EventQueue::heap_remove_root() {
+  const std::size_t tail = keys_.size() - 1;
+  if (tail != kRoot) keys_[kRoot] = keys_[tail];
+  keys_.pop_back();
+  if (tail != kRoot) sift_down(kRoot);
 }
 
 void EventQueue::prune_root() {
-  while (!heap_.empty() && !slab_[heap_.front().slot].armed) {
-    release_slot(heap_.front().slot);
-    heap_pop_root();
+  while (!heap_empty() && !armed(key_slot(keys_[kRoot]))) {
+    release_slot(key_slot(keys_[kRoot]));
+    heap_remove_root();
   }
+}
+
+bool EventQueue::sync_staged() {
+  while (staged_next_ < staged_.size()) {
+    Staged& e = staged_[staged_next_];
+    if (e.slot != kNilSlot) {
+      if (armed(e.slot)) return true;
+      // Tombstone carried into the batch: recycle it now, preserving the
+      // release order the per-pop prune would have produced.
+      release_slot(e.slot);
+      e.slot = kNilSlot;
+    }
+    ++staged_next_;
+  }
+  if (staged_next_ != 0) {
+    staged_.clear();
+    staged_next_ = 0;
+  }
+  return false;
+}
+
+EventQueue::Fired EventQueue::pop_root() {
+  const Key key = keys_[kRoot];
+  const std::uint32_t slot = key_slot(key);
+  // Overlap the two random slab touches (callback move-out, meta release)
+  // with the root sift: issue the loads, fix the heap, then read the slab.
+  __builtin_prefetch(&callbacks_[slot], 1);
+  __builtin_prefetch(&meta_[slot], 1);
+  heap_remove_root();
+  Fired fired{key_time(key), std::move(callbacks_[slot]), meta_[slot].label,
+              key_priority(key)};
+  release_slot(slot);
+  --live_;
+  prune_root();
+  // A pop is usually followed by another: start fetching the next root's
+  // slab lines so the next pop's payload access is already in flight.
+  if (!heap_empty()) {
+    const std::uint32_t next = key_slot(keys_[kRoot]);
+    __builtin_prefetch(&callbacks_[next], 1);
+    __builtin_prefetch(&meta_[next], 1);
+  }
+  return fired;
 }
 
 }  // namespace simty::sim

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/arena.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
 
@@ -17,6 +18,10 @@ namespace simty::sim {
 class Simulator {
  public:
   Simulator() = default;
+
+  /// Backs the event queue's storage with `arena` (see EventQueue): the
+  /// arena must outlive the simulator and must not be reset while it lives.
+  explicit Simulator(common::Arena* arena) : queue_(arena) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

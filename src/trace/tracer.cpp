@@ -130,14 +130,15 @@ const char* to_string(TraceEventKind k) {
   return "?";
 }
 
-Tracer::Tracer(std::size_t ring_capacity) : ring_capacity_(ring_capacity) {
+Tracer::Tracer(std::size_t ring_capacity, common::Arena* arena)
+    : ring_capacity_(ring_capacity), arena_(arena), chunks_(arena), ring_(arena) {
   if (ring_capacity_ > 0) {
     ring_.resize(ring_capacity_);
   } else {
     // Pre-allocate the first chunk so steady state never allocates on the
     // recording path until a chunk boundary.
-    chunks_.emplace_back();
-    chunks_.back().reserve(kChunkEvents);
+    chunks_.emplace_back(arena_);
+    chunks_[0].reserve(kChunkEvents);
   }
 }
 
@@ -149,11 +150,16 @@ void Tracer::record(const TraceEvent& e) {
     if (ring_next_ == 0 && !ring_full_) ring_full_ = true;
     return;
   }
-  if (chunks_.back().size() == kChunkEvents) {
-    chunks_.emplace_back();
-    chunks_.back().reserve(kChunkEvents);
+  if (chunks_[current_chunk_].size() == kChunkEvents) {
+    // Advance into a chunk retained by clear() when one exists; only a
+    // fresh high-water mark allocates.
+    ++current_chunk_;
+    if (current_chunk_ == chunks_.size()) {
+      chunks_.emplace_back(arena_);
+      chunks_[current_chunk_].reserve(kChunkEvents);
+    }
   }
-  chunks_.back().push_back(e);
+  chunks_[current_chunk_].push_back(e);
 }
 
 void Tracer::span_begin(TimePoint when, TraceCategory category, const char* label,
@@ -191,8 +197,9 @@ void Tracer::clear() {
     ring_next_ = 0;
     ring_full_ = false;
   } else {
-    chunks_.resize(1);
-    chunks_.front().clear();
+    // Retain every grown chunk (and its capacity) for the next run.
+    for (std::size_t i = 0; i <= current_chunk_; ++i) chunks_[i].clear();
+    current_chunk_ = 0;
   }
   dropped_ = 0;
   open_spans_ = 0;

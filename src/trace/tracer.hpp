@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/time.hpp"
 
 namespace simty::trace {
@@ -66,8 +67,10 @@ class Tracer {
  public:
   /// `ring_capacity == 0` (default) selects the growable chunked arena;
   /// a positive capacity selects a fixed ring that overwrites the oldest
-  /// events once full (dropped() counts the overwrites).
-  explicit Tracer(std::size_t ring_capacity = 0);
+  /// events once full (dropped() counts the overwrites). A non-null
+  /// `arena` backs the event storage (chunk payloads / the ring buffer);
+  /// it must outlive the tracer and must not be reset while it lives.
+  explicit Tracer(std::size_t ring_capacity = 0, common::Arena* arena = nullptr);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -91,7 +94,9 @@ class Tracer {
   /// throws, which is how unbalanced instrumentation fails fast.
   std::int64_t open_spans() const { return open_spans_; }
 
-  /// Drops every recorded event (storage is retained).
+  /// Drops every recorded event. Storage is retained — including every
+  /// already-grown chunk, so a reused tracer records allocation-free up to
+  /// its high-water mark.
   void clear();
 
   /// Copies the held events out in record order (ring mode: oldest first).
@@ -112,9 +117,13 @@ class Tracer {
 
   static constexpr std::size_t kChunkEvents = 16384;
 
-  std::size_t ring_capacity_;                     // 0 = arena mode
-  std::vector<std::vector<TraceEvent>> chunks_;   // arena storage
-  std::vector<TraceEvent> ring_;                  // ring storage
+  std::size_t ring_capacity_;  // 0 = chunked mode
+  common::Arena* arena_;       // optional backing for chunks_/ring_ payloads
+  // Chunked storage: chunks_[0..current_chunk_] hold events; chunks past
+  // current_chunk_ are empty, retained by clear() for reuse.
+  common::ArenaVector<common::ArenaVector<TraceEvent>> chunks_;
+  std::size_t current_chunk_ = 0;
+  common::ArenaVector<TraceEvent> ring_;  // ring storage
   std::size_t ring_next_ = 0;
   bool ring_full_ = false;
   std::uint64_t dropped_ = 0;

@@ -1,0 +1,30 @@
+// Fixture: hot-path-owning rule — hot-path files own storage through the
+// arena-backed types; owning std:: containers heap-allocate on growth and
+// defeat the O(1) whole-run arena reset. Borrowing (references, pointers)
+// is fine.
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct HotState {
+  std::vector<int> slots;             // LINT-EXPECT: hot-path-owning
+  std::map<int, int> index;           // LINT-EXPECT: hot-path-owning
+  std::unordered_map<int, int> seen;  // LINT-EXPECT: hot-path-owning
+  std::deque<long> backlog;           // LINT-EXPECT: hot-path-owning
+  std::vector<int> audited;           // simty-lint: allow(hot-path-owning)
+
+  // Borrowed views of owning containers are not owning.
+  const std::vector<int>& borrowed;
+  std::map<int, int>* indexed;
+
+  int consume(const std::vector<int>& batch, std::vector<int>* out);
+};
+
+// A project type that happens to share a container name must not match.
+struct Registry {
+  int list(int id);
+  int set(int id);
+};
+
+}  // namespace fixture

@@ -235,10 +235,11 @@ TEST(SimtyLintApi, JsonReportEscapesAndCounts) {
 
 TEST(SimtyLintApi, RuleNamesStable) {
   const auto& names = rule_names();
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
   EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "unordered-iter"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "queue-scan"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "hot-path-owning"), names.end());
 }
 
 }  // namespace

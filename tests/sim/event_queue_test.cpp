@@ -261,5 +261,139 @@ TEST(EventQueue, RandomizedDifferentialAgainstMapModel) {
   EXPECT_EQ(fired_real, fired_model);
 }
 
+// --------------------------------------------------------------------------
+// pop_batch / staged hand-out semantics
+// --------------------------------------------------------------------------
+
+TEST(EventQueue, PopBatchStagesRootGroupAndReportsLiveCount) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(at(1), EventPriority::kFramework, [&order, i] { order.push_back(i); });
+  }
+  q.schedule(at(1), EventPriority::kApp, [&order] { order.push_back(99); });
+  q.schedule(at(2), EventPriority::kFramework, [&order] { order.push_back(100); });
+
+  // Only the five (t=1, kFramework) events share the root's group.
+  EXPECT_EQ(q.pop_batch(), 5u);
+  EXPECT_TRUE(q.has_staged());
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 99, 100}));
+}
+
+TEST(EventQueue, PopBatchSingletonStagesNothing) {
+  EventQueue q;
+  q.schedule(at(1), EventPriority::kFramework, [] {});
+  q.schedule(at(2), EventPriority::kFramework, [] {});
+  EXPECT_EQ(q.pop_batch(), 1u);
+  EXPECT_FALSE(q.has_staged());
+  EXPECT_EQ(q.pop().when, at(1));
+}
+
+TEST(EventQueue, StagedEventsStayCancellable) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(
+        q.schedule(at(3), EventPriority::kFramework, [&order, i] { order.push_back(i); }));
+  }
+  ASSERT_EQ(q.pop_batch(), 4u);
+  EXPECT_TRUE(q.cancel(ids[1]));
+  EXPECT_FALSE(q.cancel(ids[1]));  // already cancelled while staged
+  EXPECT_EQ(q.size(), 3u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+  EXPECT_FALSE(q.cancel(ids[0]));  // fired
+}
+
+TEST(EventQueue, PopReChecksHeapRootAgainstStagedEvents) {
+  // A callback scheduling a higher-priority event at the same instant must
+  // see it fire before the rest of the staged group — exactly as k
+  // independent pops would interleave it.
+  EventQueue q;
+  std::vector<std::string> order;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule(at(7), EventPriority::kApp,
+               [&order, i] { order.push_back("app" + std::to_string(i)); });
+  }
+  ASSERT_EQ(q.pop_batch(), 3u);
+  auto first = q.pop();
+  first.callback();
+  q.schedule(at(7), EventPriority::kHardware, [&order] { order.push_back("hw"); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<std::string>{"app0", "hw", "app1", "app2"}));
+}
+
+// Differential test including pop_batch: 1e5 mixed operations across three
+// phases — a general mix, a tombstone-heavy phase (cancel-dominated, so
+// batches carry dead entries), and a same-instant-burst phase (tiny time
+// range, big firing groups). The map model treats pop_batch as a no-op:
+// staged hand-out must be indistinguishable from k independent pops.
+TEST(EventQueue, RandomizedDifferentialWithPopBatch) {
+  EventQueue q;
+  MapModel model;
+  Rng rng(777);
+
+  struct Live {
+    EventId real;
+    std::uint64_t model;
+  };
+  std::vector<Live> live;
+  std::vector<std::pair<std::int64_t, int>> fired_real;
+  std::vector<std::pair<std::int64_t, int>> fired_model;
+
+  int payload = 0;
+  std::size_t pending = 0;
+  constexpr int kOps = 100'000;
+  for (int op = 0; op < kOps; ++op) {
+    // Phase thresholds: [0,40k) mixed, [40k,70k) tombstone-heavy,
+    // [70k,100k) same-instant bursts.
+    const bool tombstone_phase = op >= 40'000 && op < 70'000;
+    const bool burst_phase = op >= 70'000;
+    const std::uint32_t dice = rng.next_below(100);
+    const std::uint32_t cancel_cut = tombstone_phase ? 75 : 25;
+    const std::uint32_t schedule_cut = tombstone_phase ? 15 : 45;
+
+    if (dice < schedule_cut || q.empty()) {
+      const std::int64_t when_us =
+          static_cast<std::int64_t>(rng.next_below(burst_phase ? 8 : 64));
+      const int priority = static_cast<int>(rng.next_below(burst_phase ? 2 : 4));
+      const std::size_t fan = burst_phase ? 1 + rng.next_below(8) : 1;
+      for (std::size_t f = 0; f < fan; ++f) {
+        const int p = payload++;
+        const EventId real = q.schedule(
+            TimePoint::from_us(when_us), static_cast<EventPriority>(priority),
+            [&fired_real, when_us, p] { fired_real.emplace_back(when_us, p); });
+        live.push_back({real, model.schedule(when_us, priority, p)});
+        ++pending;
+      }
+    } else if (dice < schedule_cut + cancel_cut && !live.empty()) {
+      const std::size_t pick = rng.next_below(static_cast<std::uint32_t>(live.size()));
+      const bool cancelled = q.cancel(live[pick].real);
+      ASSERT_EQ(cancelled, model.cancel(live[pick].model)) << "op " << op;
+      if (cancelled) --pending;
+    } else {
+      // Drain step: sometimes coalesce the root group first. pop_batch is
+      // only legal with no staged events pending.
+      if (rng.next_below(2) == 0 && !q.has_staged()) q.pop_batch();
+      q.pop().callback();
+      fired_model.push_back(model.pop());
+      ASSERT_EQ(fired_real.size(), fired_model.size());
+      ASSERT_EQ(fired_real.back(), fired_model.back()) << "op " << op;
+      --pending;
+    }
+    ASSERT_EQ(q.size(), pending) << "live-count divergence at op " << op;
+  }
+
+  while (!q.empty()) {
+    if (!q.has_staged() && rng.next_below(4) == 0) q.pop_batch();
+    q.pop().callback();
+    fired_model.push_back(model.pop());
+  }
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(fired_real, fired_model);
+}
+
 }  // namespace
 }  // namespace simty::sim

@@ -442,6 +442,51 @@ void rule_queue_scan(Ctx& ctx) {
   });
 }
 
+/// Hot-path files own their storage through the arena-backed types (Arena,
+/// ArenaVector, EventFn): a std::vector/map/... or std::function declared
+/// here heap-allocates on growth and defeats the O(1) whole-run arena
+/// reset. References and pointers to owning containers are fine (borrowing
+/// is not owning), as are the arena-backed types themselves (they are not
+/// std:: names, so they never match).
+void rule_hot_path_owning(Ctx& ctx, bool fn_rules_active) {
+  const std::string_view joined = ctx.joined;
+  auto check_token = [&](const std::string& tok, bool needs_angles) {
+    for_each_word(joined, tok, [&](std::size_t pos) {
+      // Only the std:: spellings are owning; project types reusing a name
+      // (e.g. a member function called `list`) must not match.
+      if (pos < 5 || joined.compare(pos - 2, 2, "::") != 0) return;
+      std::size_t q = pos - 2;
+      if (q < 3 || joined.compare(q - 3, 3, "std") != 0) return;
+      if (q > 3 && ident_char(joined[q - 4])) return;
+      std::size_t p = skip_ws(joined, pos + tok.size());
+      if (needs_angles) {
+        if (p >= joined.size() || joined[p] != '<') return;
+        p = skip_angles(joined, p);
+        if (p == std::string_view::npos) return;
+        p = skip_ws(joined, p);
+      }
+      // `const std::vector<T>&` / `std::vector<T>*`: borrowed, not owned.
+      if (p < joined.size() && (joined[p] == '&' || joined[p] == '*')) return;
+      ctx.emit(ctx.line_of(pos), "hot-path-owning",
+               "owning `std::" + tok +
+                   "` in a hot-path file; use the arena-backed types "
+                   "(common::ArenaVector / common::Arena / sim::EventFn), or "
+                   "mark deliberate cold-path storage with an allow comment");
+    });
+  };
+  static const std::vector<std::string> kOwning = {
+      "vector", "map", "set", "multimap", "multiset", "deque",
+      "list",   "forward_list"};
+  for (const auto& t : kOwning) check_token(t, /*needs_angles=*/true);
+  for (const auto& t : kUnorderedTypes) check_token(t, /*needs_angles=*/true);
+  // std::function / std::string are already covered by the std-function and
+  // string-label rules where those run; only pick them up elsewhere.
+  if (!fn_rules_active) {
+    check_token("function", /*needs_angles=*/true);
+    check_token("string", /*needs_angles=*/false);
+  }
+}
+
 void rule_pragma_once(Ctx& ctx) {
   for (std::size_t l = 0; l < ctx.scan.code.size(); ++l) {
     const std::string t = trimmed(ctx.scan.code[l]);
@@ -489,7 +534,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "wall-clock", "raw-rand",     "std-hash",     "unordered-iter",
       "float-time", "std-function", "string-label", "assert",
-      "pragma-once", "include-hygiene", "queue-scan"};
+      "pragma-once", "include-hygiene", "queue-scan", "hot-path-owning"};
   return kNames;
 }
 
@@ -546,6 +591,9 @@ std::vector<Finding> lint_source(std::string_view rel_path, std::string_view con
   if (hot) {
     rule_std_function(ctx);
     rule_string_label(ctx);
+  }
+  if (under_any(ctx.path, opts.owning_hot_path_prefixes)) {
+    rule_hot_path_owning(ctx, hot);
   }
   // Alignment-policy files only: src/alarm sources whose name marks them as
   // a policy implementation.
