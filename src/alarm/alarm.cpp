@@ -1,5 +1,6 @@
 #include "alarm/alarm.hpp"
 
+#include "common/check.hpp"
 #include "common/strings.hpp"
 
 namespace simty::alarm {

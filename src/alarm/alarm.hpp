@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <string>
 
-#include "common/check.hpp"
 #include "common/interval.hpp"
 #include "common/time.hpp"
 #include "hw/component.hpp"

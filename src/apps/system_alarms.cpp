@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/check.hpp"
-
 namespace simty::apps {
 
 SystemAlarmSource::SystemAlarmSource(sim::Simulator& sim,

@@ -17,6 +17,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
+
 namespace simty {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
@@ -44,8 +46,8 @@ class Logger {
  private:
   Logger();
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  std::mutex mutex_;  // guards sink_ (replacement and invocation)
-  Sink sink_;
+  std::mutex mutex_;
+  Sink sink_ SIMTY_GUARDED_BY(mutex_);  // replacement and invocation both lock
 };
 
 const char* to_string(LogLevel level);

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/check.hpp"
 
 namespace simty {
@@ -67,10 +68,10 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<std::function<void()>> queue_;
-  bool accepting_ = true;
-  const bool inline_;  // constructed with zero workers
-  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_ SIMTY_GUARDED_BY(mutex_);
+  bool accepting_ SIMTY_GUARDED_BY(mutex_) = true;
+  const bool inline_;  // constructed with zero workers; immutable, unguarded
+  std::vector<std::thread> workers_;  // touched only by ctor/shutdown (joiner)
 };
 
 }  // namespace simty

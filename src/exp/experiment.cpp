@@ -9,6 +9,7 @@
 #include "alarm/exact_policy.hpp"
 #include "alarm/native_policy.hpp"
 #include "alarm/simty_policy.hpp"
+#include "apps/system_alarms.hpp"
 #include "common/check.hpp"
 #include "exp/parallel_runner.hpp"
 #include "hw/battery.hpp"

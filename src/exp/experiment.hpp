@@ -12,7 +12,6 @@
 
 #include "alarm/alarm_manager.hpp"
 #include "alarm/similarity.hpp"
-#include "apps/system_alarms.hpp"
 #include "apps/workload.hpp"
 #include "hw/power_model.hpp"
 #include "common/arena.hpp"

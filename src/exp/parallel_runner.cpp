@@ -29,7 +29,9 @@ RunResult run_on_arena(ExperimentConfig config, common::Arena& arena) {
 ParallelRunner::ParallelRunner(int jobs) : jobs_(std::max(jobs, 1)) {}
 
 int ParallelRunner::default_jobs() {
-  if (const char* env = std::getenv("SIMTY_JOBS")) {
+  // Worker count only changes scheduling, never results: the reduction is
+  // submission-ordered, and serial-vs-parallel equality is gated in CI.
+  if (const char* env = std::getenv("SIMTY_JOBS")) {  // simty-analyze: allow(taint)
     const int v = std::atoi(env);
     if (v > 0) return v;
   }

@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "common/time.hpp"
-#include "common/units.hpp"
 #include "hw/power_bus.hpp"
 #include "hw/power_model.hpp"
 #include "sim/simulator.hpp"

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/annotations.hpp"
 #include "common/check.hpp"
 
 namespace simty::sim {
@@ -50,7 +51,7 @@ const char* intern_label(std::string_view label) {
   // The interner is the one sanctioned owner of label strings: each label is
   // copied exactly once, ever, and the hot path only sees the c_str().
   // simty-lint: allow(string-label, hot-path-owning)
-  static std::unordered_set<std::string, LabelHash, LabelEq> pool;
+  static std::unordered_set<std::string, LabelHash, LabelEq> pool SIMTY_GUARDED_BY(mu);
   {
     const std::shared_lock<std::shared_mutex> read(mu);
     const auto it = pool.find(label);

@@ -2,7 +2,9 @@
 // Umbrella header: the full public API of the SIMTY reproduction.
 //
 // For selective builds include the per-module headers directly; this
-// header exists for quick experiments and downstream prototypes.
+// header exists for quick experiments and downstream prototypes. Every
+// include is a deliberate re-export, so the unused-include advisory is off:
+// simty-analyze: allow-file(include)
 
 // Foundations
 #include "common/check.hpp"       // IWYU pragma: export

@@ -8,7 +8,6 @@
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
-#include "common/table.hpp"
 
 namespace simty::trace {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace simty::usage {
 

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "exp/experiment.hpp"

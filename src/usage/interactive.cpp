@@ -5,6 +5,7 @@
 #include "alarm/exact_policy.hpp"
 #include "alarm/native_policy.hpp"
 #include "alarm/simty_policy.hpp"
+#include "apps/system_alarms.hpp"
 #include "common/check.hpp"
 #include "hw/power_bus.hpp"
 #include "hw/rtc.hpp"

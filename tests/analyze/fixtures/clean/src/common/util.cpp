@@ -1,0 +1,4 @@
+#include "common/util.hpp"
+namespace fx::common {
+int clamp01(int v) { return v < 0 ? 0 : (v > 1 ? 1 : v); }
+}

@@ -1,0 +1,4 @@
+#pragma once
+namespace fx::common {
+int clamp01(int v);
+}

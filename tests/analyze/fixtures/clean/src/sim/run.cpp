@@ -1,0 +1,4 @@
+#include "common/util.hpp"
+namespace fx::sim {
+int run_step(int v) { return fx::common::clamp01(v); }
+}

@@ -1,0 +1,5 @@
+#pragma once
+namespace fx::common {
+struct Athing { int v = 0; };
+int a_fn();
+}

@@ -1,0 +1,4 @@
+#include "common/a.hpp"
+namespace fx::sim {
+int use_nothing() { return 42; }
+}

@@ -1,0 +1,7 @@
+#pragma once
+// alarm (layer 4) may see hw (layer 3)...
+#include "common/base.hpp"
+#include "hw/radio.hpp"
+namespace fx::alarm {
+struct Sched { fx::Tick next; fx::hw::Radio* radio; };
+}

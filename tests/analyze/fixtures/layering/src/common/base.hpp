@@ -1,0 +1,2 @@
+#pragma once
+namespace fx { using Tick = long; }

@@ -1,0 +1,7 @@
+#pragma once
+// ...but hw including alarm is a back edge, and together with sched.hpp's
+// include of this header it also forms an include cycle.
+#include "alarm/sched.hpp"
+namespace fx::hw {
+struct Radio { int chan; };
+}

@@ -1,0 +1,16 @@
+#include "common/reg.hpp"
+namespace fx::common {
+int Registry::ok() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+int Registry::bad() {
+  return count_;  // no lock: the analyzer must flag exactly this line
+}
+int Registry::locked_helper() SIMTY_REQUIRES(mu_) {
+  return count_;
+}
+int Registry::hatch() {
+  return count_;  // simty-analyze: allow(lock)
+}
+}

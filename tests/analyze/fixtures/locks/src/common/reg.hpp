@@ -1,0 +1,16 @@
+#pragma once
+#include <mutex>
+#define SIMTY_GUARDED_BY(x)
+#define SIMTY_REQUIRES(x)
+namespace fx::common {
+class Registry {
+ public:
+  int ok();
+  int bad();
+  int locked_helper() SIMTY_REQUIRES(mu_);
+  int hatch();
+ private:
+  int count_ SIMTY_GUARDED_BY(mu_) = 0;
+  std::mutex mu_;
+};
+}

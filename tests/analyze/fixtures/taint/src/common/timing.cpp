@@ -1,0 +1,9 @@
+#include "common/timing.hpp"
+#include <chrono>
+namespace fx::common {
+long now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}

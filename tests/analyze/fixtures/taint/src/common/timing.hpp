@@ -1,0 +1,5 @@
+#pragma once
+// Innocent-looking helper: the wall-clock read hides in the .cpp.
+namespace fx::common {
+long now_ms();
+}

@@ -125,15 +125,26 @@ TEST(SimtyLintRules, LexerNeverFiresInsideCommentsOrLiterals) {
 }
 
 TEST(SimtyLintRules, DeterministicRulesScopedToDeterministicPaths) {
-  // The same wall-clock fixture is legal outside src/sim|alarm|exp|policy
-  // (benches time themselves with steady_clock on purpose).
+  // The same wall-clock fixture is legal outside the deterministic scope
+  // (benches time themselves with steady_clock on purpose; the CLI may
+  // stamp reports with the real date).
   const std::string content = read_fixture("wall_clock.cpp");
   EXPECT_TRUE(lint_source("bench/fixture.cpp", content).empty());
-  EXPECT_TRUE(lint_source("src/metrics/fixture.cpp", content).empty());
+  EXPECT_TRUE(lint_source("src/cli/fixture.cpp", content).empty());
+  EXPECT_TRUE(lint_source("tools/fixture.cpp", content).empty());
   EXPECT_FALSE(lint_source("src/policy/fixture.cpp", content).empty());
   // The run tracer is deterministic code too: a wall-clock read there would
   // poison the trace-diff gate.
   EXPECT_FALSE(lint_source("src/trace/fixture.cpp", content).empty());
+  // The model layers the event loop simulates through are in scope as well:
+  // a wall-clock read in net/hw/power/usage/metrics breaks the same
+  // bit-identical contract as one in the event core.
+  for (const char* path :
+       {"src/net/fixture.cpp", "src/hw/fixture.cpp", "src/power/fixture.cpp",
+        "src/usage/fixture.cpp", "src/metrics/fixture.cpp"}) {
+    SCOPED_TRACE(path);
+    EXPECT_FALSE(lint_source(path, content).empty());
+  }
 }
 
 TEST(SimtyLintRules, FleetPathsAreDeterministicScope) {
@@ -144,7 +155,7 @@ TEST(SimtyLintRules, FleetPathsAreDeterministicScope) {
   // ...while the deterministic-only rules (wall-clock, raw-rand, std-hash)
   // stay silent outside the scope. unordered-iter applies everywhere.
   const std::string content = read_fixture("fleet_scope.cpp");
-  for (const char* path : {"bench/fixture.cpp", "src/metrics/fixture.cpp"}) {
+  for (const char* path : {"bench/fixture.cpp", "src/cli/fixture.cpp"}) {
     SCOPED_TRACE(path);
     for (const Finding& f : lint_source(path, content)) {
       EXPECT_EQ(f.rule, "unordered-iter");
@@ -208,6 +219,54 @@ TEST(SimtyLintLexer, WordBoundaries) {
   EXPECT_TRUE(has_word("std::hash<int> h;", "std::hash"));
   EXPECT_FALSE(has_word("std::hashish h;", "std::hash"));
   EXPECT_FALSE(has_word("std::string_view v;", "std::string"));
+}
+
+TEST(SimtyLintLexer, RawStringsBlankEmbeddedCommentMarkers) {
+  // `//` inside a raw string is content, not a comment — code after the
+  // closing delimiter on the same line must survive the scan.
+  const FileScan scan = scan_source(
+      "auto s = R\"(// not a comment; rand())\"; int live = rand();\n"
+      "auto d = R\"x(quote\" and )\" inside)x\"; int tail = 1;\n");
+  ASSERT_GE(scan.code.size(), 2u);
+  EXPECT_TRUE(has_word(scan.code[0], "rand"));  // the real call after the literal
+  EXPECT_FALSE(scan.code[0].find("not a comment") != std::string::npos);
+  // The )\" inside the d-char-delimited literal must not close it early.
+  EXPECT_FALSE(has_word(scan.code[1], "inside"));
+  EXPECT_TRUE(has_word(scan.code[1], "tail"));
+}
+
+TEST(SimtyLintLexer, DigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 must not start a character literal that swallows the rest of
+  // the line (a classic lexer bug for C++14 digit separators).
+  const FileScan scan = scan_source("int n = 1'000'000; int m = rand();\n");
+  ASSERT_GE(scan.code.size(), 1u);
+  EXPECT_TRUE(has_word(scan.code[0], "rand"));
+}
+
+TEST(SimtyLintLexer, BackslashContinuedLineComments) {
+  // Phase-2 splicing: a `//` comment ending in a backslash swallows the next
+  // physical line, so the rand() there is commented out — but line 3 is code.
+  const FileScan scan = scan_source(
+      "int a = 0; // continued \\\n"
+      "int dead = rand();\n"
+      "int live = rand();\n");
+  ASSERT_GE(scan.code.size(), 3u);
+  EXPECT_FALSE(has_word(scan.code[1], "rand"));
+  EXPECT_TRUE(has_word(scan.code[2], "rand"));
+}
+
+TEST(SimtyLintLexer, DirectiveTagSelectsToolNamespace) {
+  // The same source carries hatches for both tools; each scan must honour
+  // only its own tag.
+  const std::string src =
+      "int a;  // simty-lint: allow(wall-clock)\n"
+      "int b;  // simty-analyze: allow(taint)\n";
+  const FileScan lint_scan = scan_source(src);
+  EXPECT_EQ(lint_scan.line_allows[0], (std::vector<std::string>{"wall-clock"}));
+  EXPECT_TRUE(lint_scan.line_allows[1].empty());
+  const FileScan analyze_scan = scan_source(src, "simty-analyze:");
+  EXPECT_TRUE(analyze_scan.line_allows[0].empty());
+  EXPECT_EQ(analyze_scan.line_allows[1], (std::vector<std::string>{"taint"}));
 }
 
 TEST(SimtyLintApi, UnorderedNamesInFindsAliasesAndMembers) {

@@ -32,6 +32,15 @@ if [ ! -f "$BUILD/compile_commands.json" ]; then
   exit 2
 fi
 
+# A database older than any CMakeLists.txt lies about flags and targets;
+# tidy would then analyse against a build that no longer exists.
+stale="$(cd "$ROOT" && find . -name CMakeLists.txt -not -path './build*' \
+  -newer "$BUILD/compile_commands.json" -print -quit)"
+if [ -n "$stale" ]; then
+  echo "run_clang_tidy: $BUILD/compile_commands.json is older than ${stale#./} — re-run: cmake -B ${BUILD#"$ROOT"/} -S $ROOT" >&2
+  exit 2
+fi
+
 # Lint the library and tool translation units; tests and benches follow the
 # same warnings gate but churn too fast for tidy's fix-it cycle.
 mapfile -t files < <(cd "$ROOT" && git ls-files 'src/*.cpp' 'src/**/*.cpp' 'tools/*.cpp' 'tools/**/*.cpp' 'examples/*.cpp')

@@ -1,0 +1,106 @@
+// Lock-annotation pass.
+//
+// Every use of a SIMTY_GUARDED_BY(mu) variable must sit inside a scope that
+// locks `mu` (an RAII guard declared earlier in an enclosing block, or a
+// bare mu.lock()), or in a function annotated SIMTY_REQUIRES(mu).
+// Constructors/destructors/operators are skipped — members are born and die
+// single-threaded. Scoping: a member guarded inside class C is only checked
+// in C's member functions; a namespace/function-scope guarded variable
+// (e.g. the intern_label registry) only in its own file.
+//
+// `// simty-analyze: allow(lock)` on the use line is the escape hatch.
+
+#include <algorithm>
+#include <cctype>
+
+#include "passes.hpp"
+
+namespace simty::analyze {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool use_allowed(const FileModel& m, int line) {
+  if (std::find(m.file_allows.begin(), m.file_allows.end(), "lock") != m.file_allows.end())
+    return true;
+  if (line < 1 || static_cast<std::size_t>(line) > m.line_allows.size()) return false;
+  const auto& v = m.line_allows[static_cast<std::size_t>(line) - 1];
+  return std::find(v.begin(), v.end(), "lock") != v.end();
+}
+
+}  // namespace
+
+void run_locks(const Graph& g, const Config&, Result& result) {
+  for (std::size_t i = 0; i < g.models.size(); ++i) {
+    const FileModel& m = g.models[i];
+
+    // Guarded variables visible here: own declarations plus those of every
+    // file in the include closure (members declared in headers, used in
+    // the companion .cpp).
+    struct Visible {
+      const GuardedVar* var;
+      const FileModel* decl_file;
+    };
+    std::vector<Visible> visible;
+    for (const int f : g.reach[i]) {
+      const FileModel& other = g.models[static_cast<std::size_t>(f)];
+      for (const auto& gv : other.guarded) {
+        // Function/namespace-scope variables are file-local by construction.
+        if (gv.cls.empty() && &other != &m) continue;
+        visible.push_back({&gv, &other});
+      }
+    }
+    if (visible.empty()) continue;
+
+    for (const Function& fn : m.functions) {
+      if (fn.is_special) continue;
+      for (const Visible& vis : visible) {
+        const GuardedVar& gv = *vis.var;
+        // Members of class C are only checked inside C's member functions.
+        if (!gv.cls.empty() &&
+            fn.qualified.rfind(gv.cls + "::", 0) == std::string::npos) {
+          continue;
+        }
+        const bool required =
+            std::find(fn.requires_mutexes.begin(), fn.requires_mutexes.end(), gv.mutex) !=
+            fn.requires_mutexes.end();
+        // Word-scan the body for the variable.
+        const std::string_view text = m.joined;
+        for (std::size_t pos = text.find(gv.var, fn.body_begin);
+             pos != std::string_view::npos && pos < fn.body_end;
+             pos = text.find(gv.var, pos + 1)) {
+          if (pos > 0 && ident_char(text[pos - 1])) continue;
+          const std::size_t end = pos + gv.var.size();
+          if (end < text.size() && ident_char(text[end])) continue;
+          const int line = line_of(m, pos);
+          // The declaration site of a function-scope guarded variable is a
+          // definition, not an access.
+          if (vis.decl_file == &m && line == gv.line) continue;
+          if (required || use_allowed(m, line)) continue;
+          const bool locked = std::any_of(
+              fn.locks.begin(), fn.locks.end(), [&](const LockScope& ls) {
+                return ls.mutex == gv.mutex && ls.begin <= pos && pos < ls.end;
+              });
+          if (locked) continue;
+          Finding f;
+          f.check = "lock";
+          f.file = m.path;
+          f.line = line;
+          f.message = "'" + gv.var + "' is guarded by '" + gv.mutex + "' (" +
+                      vis.decl_file->path + ":" + std::to_string(gv.line) +
+                      ") but '" + fn.qualified +
+                      "' touches it without holding the lock";
+          f.chain = {fn.display,
+                     "guarded declaration at " + vis.decl_file->path + ":" +
+                         std::to_string(gv.line)};
+          result.findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace simty::analyze

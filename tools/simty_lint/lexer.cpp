@@ -1,4 +1,3 @@
-#include "lint.hpp"
 #include "lexer.hpp"
 
 #include <algorithm>
@@ -26,11 +25,10 @@ void trim(std::string& s) {
 
 /// Extracts `allow(...)` / `allow-file(...)` directives from comment text.
 void parse_directives(std::string_view comment, std::size_t start_line,
-                      std::vector<Directive>& out) {
-  static constexpr std::string_view kTag = "simty-lint:";
+                      std::string_view tag, std::vector<Directive>& out) {
   std::size_t pos = 0;
-  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
-    std::size_t p = pos + kTag.size();
+  while ((pos = comment.find(tag, pos)) != std::string_view::npos) {
+    std::size_t p = pos + tag.size();
     while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p])) != 0) ++p;
     bool file_scope = false;
     if (comment.substr(p, 10) == "allow-file") {
@@ -84,7 +82,7 @@ bool has_word(std::string_view code, std::string_view name) {
   return false;
 }
 
-FileScan scan_source(std::string_view content) {
+FileScan scan_source(std::string_view content, std::string_view tag) {
   FileScan scan;
   std::vector<Directive> directives;
 
@@ -102,7 +100,7 @@ FileScan scan_source(std::string_view content) {
     ++line;
   };
   auto end_comment = [&] {
-    parse_directives(current_comment, comment_start_line, directives);
+    parse_directives(current_comment, comment_start_line, tag, directives);
     current_comment.clear();
   };
 
@@ -111,6 +109,14 @@ FileScan scan_source(std::string_view content) {
     const char next = i + 1 < content.size() ? content[i + 1] : '\0';
     if (c == '\n') {
       if (state == State::kLineComment) {
+        // Phase-2 line splicing happens before comment recognition: a `//`
+        // comment whose last character is a backslash swallows the next
+        // physical line too.
+        if (i > 0 && content[i - 1] == '\\') {
+          current_comment.push_back('\n');
+          end_line();
+          continue;
+        }
         end_comment();
         state = State::kCode;
       } else if (state == State::kString || state == State::kChar) {

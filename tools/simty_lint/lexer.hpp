@@ -1,12 +1,13 @@
 #pragma once
-// Lightweight C++ source scanner for simty_lint.
+// Lightweight C++ source scanner shared by simty_lint and simty_analyze.
 //
 // Produces, per physical line, the source text with comments, string
 // literals, and character literals blanked to spaces (so rule matching never
-// fires inside a literal), and the `simty-lint:` allow directives extracted
-// from comments. This is deliberately not a real C++ front end: it only has
-// to be right about lexical structure (//, /* */, "...", '...', R"(...)"),
-// which is enough for token-level rules.
+// fires inside a literal), and the `simty-lint:` / `simty-analyze:` allow
+// directives extracted from comments. This is deliberately not a real C++
+// front end: it only has to be right about lexical structure (//, /* */,
+// "...", '...', R"(...)", backslash-continued // comments), which is enough
+// for token-level rules and the analyzer's structural passes.
 
 #include <string>
 #include <string_view>
@@ -26,8 +27,11 @@ struct FileScan {
 
 /// Scans `content` into blanked code lines plus allow directives. A
 /// directive in a trailing comment applies to its own line; a directive on a
-/// comment-only line applies to the next line that carries code.
-FileScan scan_source(std::string_view content);
+/// comment-only line applies to the next line that carries code. `tag` names
+/// the directive prefix looked for in comments — "simty-lint:" for the
+/// linter, "simty-analyze:" for the cross-TU analyzer — so each tool honours
+/// only its own escape hatches.
+FileScan scan_source(std::string_view content, std::string_view tag = "simty-lint:");
 
 /// True if `name` appears in `code` delimited by non-identifier characters.
 bool has_word(std::string_view code, std::string_view name);

@@ -34,11 +34,15 @@ struct Finding {
 struct Options {
   /// Code that must be a pure function of the seed: the discrete-event
   /// core, the alarm/policy layer, the experiment runner, the run tracer
-  /// (a nondeterministic tracer would poison the trace-diff gate), and the
+  /// (a nondeterministic tracer would poison the trace-diff gate), the
   /// fleet sampler/aggregator (whose bit-identical serial-vs-parallel
-  /// contract is gated in CI).
+  /// contract is gated in CI), and the model layers they simulate through —
+  /// net/hw/power/usage/metrics all execute inside the event loop, so a
+  /// wall-clock read or unseeded draw there breaks the same contract.
   std::vector<std::string> deterministic_prefixes = {
-      "src/sim", "src/alarm", "src/exp", "src/policy", "src/trace", "src/fleet"};
+      "src/sim",   "src/alarm", "src/exp",   "src/policy", "src/trace",
+      "src/fleet", "src/net",   "src/hw",    "src/power",  "src/usage",
+      "src/metrics"};
   /// The event hot path: EventFn instead of std::function, interned
   /// const char* labels instead of std::string.
   std::vector<std::string> hot_path_prefixes = {"src/sim"};
