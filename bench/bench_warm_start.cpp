@@ -1,0 +1,146 @@
+// Warm-start sweep benchmark: the headline number for the snapshot layer.
+//
+// A 16-point β-sweep (ExperimentConfig::beta_switch) re-simulates the same
+// standby prefix 16 times when run cold — the sweep points differ only in
+// the grace factor applied at the switch instant, placed at ~92% of the
+// horizon. The warm path simulates the shared prefix once, snapshots it
+// (exp::Run::save_snapshot), and resumes the snapshot once per point, so
+// each point pays only for the post-switch tail. Every warm result is
+// checked bit-identical to its cold counterpart before any number is
+// reported: this is an optimization benchmark, not an approximation one.
+//
+// `--json <path>` writes BENCH_warm_start.json-style records; CI diffs the
+// checked-in baseline via tools/check_bench_baseline.sh and fails when
+// the speedup/warm-start record collapses below 40% of baseline. The
+// expected ratio is prefix/tail ≈ 6x against the 5x acceptance floor.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "exp/run.hpp"
+
+namespace simty {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+constexpr int kPoints = 16;
+const Duration kHorizon = Duration::hours(3);
+const Duration kSwitchAt = Duration::minutes(172);  // ~95% of the horizon
+const Duration kPrefixAt = Duration::minutes(171);  // margin before the switch
+
+exp::ExperimentConfig sweep_config(double beta) {
+  exp::ExperimentConfig c;
+  c.policy = exp::PolicyKind::kSimty;
+  c.workload = exp::WorkloadKind::kLight;
+  c.duration = kHorizon;
+  c.seed = 21;
+  c.beta_switch = exp::ExperimentConfig::BetaSwitch{kSwitchAt, beta};
+  return c;
+}
+
+double beta_point(int i) {
+  // 16 points over [0.1, 0.85]: spans "almost exact" to "very elastic".
+  return 0.1 + 0.05 * i;
+}
+
+/// Exact equality across the fields a sweep plot consumes; any mismatch
+/// disqualifies the warm number.
+bool identical(const exp::RunResult& a, const exp::RunResult& b) {
+  return a.energy.total().mj() == b.energy.total().mj() &&
+         a.average_power_mw == b.average_power_mw &&
+         a.delay_imperceptible == b.delay_imperceptible &&
+         a.delay_imperceptible_p95 == b.delay_imperceptible_p95 &&
+         a.deliveries == b.deliveries &&
+         a.batches_delivered == b.batches_delivered &&
+         a.awake_seconds == b.awake_seconds &&
+         a.gap_violations == b.gap_violations;
+}
+
+}  // namespace
+}  // namespace simty
+
+int main(int argc, char** argv) {
+  using namespace simty;
+  const auto json_path = bench::json_path_from_args(argc, argv);
+
+  // Cold: every point simulates the full horizon from scratch.
+  const auto cold_start = Clock::now();
+  std::vector<exp::RunResult> cold;
+  cold.reserve(kPoints);
+  for (int i = 0; i < kPoints; ++i) {
+    cold.push_back(exp::run_experiment(sweep_config(beta_point(i))));
+  }
+  const double cold_ms = ms_since(cold_start);
+
+  // Warm: one shared prefix, snapshotted, resumed once per point. The β of
+  // the prefix run is irrelevant by construction (β lives in the switch
+  // event's closure, outside the serialized state), so point 0's config
+  // serves.
+  const auto warm_start = Clock::now();
+  std::string prefix;
+  {
+    exp::Run prefix_run(sweep_config(beta_point(0)));
+    prefix_run.advance_to_quiescent(TimePoint::origin() + kPrefixAt);
+    prefix = prefix_run.save_snapshot();
+  }
+  std::vector<exp::RunResult> warm;
+  warm.reserve(kPoints);
+  for (int i = 0; i < kPoints; ++i) {
+    exp::Run run(sweep_config(beta_point(i)));
+    run.restore_snapshot(prefix);
+    warm.push_back(run.finish());
+  }
+  const double warm_ms = ms_since(warm_start);
+
+  for (int i = 0; i < kPoints; ++i) {
+    if (!identical(cold[static_cast<std::size_t>(i)],
+                   warm[static_cast<std::size_t>(i)])) {
+      std::fprintf(stderr,
+                   "error: warm-started point %d (beta=%.2f) diverged from "
+                   "its cold run\n",
+                   i, beta_point(i));
+      return 1;
+    }
+  }
+
+  const double speedup = cold_ms / warm_ms;
+  const double point_rate = kPoints / (warm_ms / 1e3);
+
+  TextTable t;
+  t.set_header({"path", "wall (ms)", "points/sec"});
+  t.add_row({"cold (16 full runs)", str_format("%.1f", cold_ms),
+             str_format("%.1f", kPoints / (cold_ms / 1e3))});
+  t.add_row({"warm (prefix + 16 tails)", str_format("%.1f", warm_ms),
+             str_format("%.1f", point_rate)});
+  std::printf("Warm-start 16-point beta sweep (switch at %.0f%% of horizon)\n",
+              100.0 * static_cast<double>(kSwitchAt.us()) /
+                  static_cast<double>(kHorizon.us()));
+  std::printf("%s\n", t.render().c_str());
+  std::printf("prefix snapshot: %zu bytes\n", prefix.size());
+  std::printf("warm-start speedup (cold / warm): %.2fx\n", speedup);
+
+  if (json_path) {
+    const std::vector<bench::BenchRecord> records = {
+        {"sweep/cold/16-point", cold_ms, kPoints / (cold_ms / 1e3)},
+        {"sweep/warm/16-point", warm_ms, point_rate},
+        {"speedup/warm-start/16-point-beta-sweep", warm_ms, speedup},
+    };
+    if (!bench::write_bench_json(*json_path, records)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path->c_str());
+  }
+  return 0;
+}

@@ -8,11 +8,17 @@
 // (§3.1.2) and a hardware set learned at first delivery (footnote 4).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/interval.hpp"
 #include "common/time.hpp"
 #include "hw/component.hpp"
+
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
 
 namespace simty::alarm {
 
@@ -100,6 +106,16 @@ class Alarm {
 
   /// Moves the nominal time for the next instance (reinsertion).
   void reschedule(TimePoint nominal);
+
+  /// Replaces the grace interval length (the warm-start β lever), validated
+  /// against the same §3.1.2 invariants as registration. The owner must
+  /// rebatch afterwards — queued entries cache the old interval.
+  void set_grace_length(Duration grace);
+
+  /// Serializes spec + learned state into the current section; restore()
+  /// rebuilds an equivalent alarm (same id, spec, nominal, and profile).
+  void save(snapshot::Writer& w) const;
+  static std::unique_ptr<Alarm> restore(snapshot::SectionReader& s);
 
   /// Records a completed delivery and its observed hardware usage
   /// (footnote 4: the hardware set is specified immediately after

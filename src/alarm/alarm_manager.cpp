@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::alarm {
@@ -572,6 +573,140 @@ void AlarmManager::on_device_wake(hw::WakeReason) {
   // Whatever woke the device, due non-wakeup alarms can now be delivered
   // (§2.1: "postponed to the next time that the device is woken").
   deliver_due(AlarmKind::kNonWakeup);
+}
+
+void AlarmManager::save(snapshot::Writer& w) const {
+  w.u64(next_id_);
+  w.u64(last_seen_wakeups_);
+  w.u64(stats_.registrations);
+  w.u64(stats_.deliveries);
+  w.u64(stats_.batches_delivered);
+  w.u64(stats_.realignments);
+  w.u64(stats_.handler_failures);
+  w.u64(registry_.size());
+  for (const auto& [id, reg] : registry_) reg.alarm->save(w);
+  for (const AlarmKind kind : {AlarmKind::kWakeup, AlarmKind::kNonWakeup}) {
+    const auto& q = queue(kind);
+    w.u64(q.size());
+    for (const auto& batch : q) {
+      w.u64(batch->size());
+      for (const Alarm* a : batch->members()) w.u64(a->id().value);
+    }
+    w.u64(indices_[static_cast<std::size_t>(kind)].next_seq());
+  }
+  w.boolean(nonwakeup_check_.has_value());
+  if (nonwakeup_check_) w.u64(nonwakeup_check_->value);
+}
+
+void AlarmManager::restore(snapshot::SectionReader& s,
+                           const HandlerResolver& resolver) {
+  SIMTY_CHECK_MSG(static_cast<bool>(resolver),
+                  "AlarmManager::restore: handler resolver required");
+  registry_.clear();
+  for (auto& q : queues_) q.clear();
+  for (auto& idx : indices_) idx.clear();
+  nonwakeup_check_.reset();
+
+  next_id_ = s.u64();
+  SIMTY_CHECK_MSG(next_id_ >= 1, "AlarmManager::restore: bad id counter");
+  last_seen_wakeups_ = s.u64();
+  stats_.registrations = s.u64();
+  stats_.deliveries = s.u64();
+  stats_.batches_delivered = s.u64();
+  stats_.realignments = s.u64();
+  stats_.handler_failures = s.u64();
+
+  const std::uint64_t alarm_count = s.u64();
+  s.check_count(alarm_count, 88);  // fixed fields + minimal tag string
+  for (std::uint64_t i = 0; i < alarm_count; ++i) {
+    std::unique_ptr<Alarm> alarm = Alarm::restore(s);
+    const std::uint64_t id = alarm->id().value;
+    SIMTY_CHECK_MSG(id != 0 && id < next_id_,
+                    "AlarmManager::restore: alarm id out of range");
+    DeliveryHandler handler = resolver(alarm->spec().app, alarm->spec().tag);
+    SIMTY_CHECK_MSG(static_cast<bool>(handler),
+                    "AlarmManager::restore: resolver has no handler for alarm");
+    const bool inserted =
+        registry_
+            .emplace(id, Registered{std::move(alarm), std::move(handler)})
+            .second;
+    SIMTY_CHECK_MSG(inserted, "AlarmManager::restore: duplicate alarm id");
+  }
+
+  std::map<std::uint64_t, int> queued;
+  for (const AlarmKind kind : {AlarmKind::kWakeup, AlarmKind::kNonWakeup}) {
+    auto& q = queue_ref(kind);
+    BatchIndex& idx = index_ref(kind);
+    const std::uint64_t batch_count = s.u64();
+    s.check_count(batch_count, 18);  // member count + at least one member id
+    for (std::uint64_t b = 0; b < batch_count; ++b) {
+      const std::uint64_t member_count = s.u64();
+      SIMTY_CHECK_MSG(member_count > 0, "AlarmManager::restore: empty batch");
+      s.check_count(member_count, 9);
+      std::unique_ptr<Batch> batch;
+      for (std::uint64_t m = 0; m < member_count; ++m) {
+        const std::uint64_t id = s.u64();
+        const auto it = registry_.find(id);
+        SIMTY_CHECK_MSG(it != registry_.end(),
+                        "AlarmManager::restore: queued alarm not registered");
+        Alarm* a = it->second.alarm.get();
+        SIMTY_CHECK_MSG(a->spec().kind == kind,
+                        "AlarmManager::restore: alarm in wrong-kind queue");
+        SIMTY_CHECK_MSG(queued[id]++ == 0,
+                        "AlarmManager::restore: alarm queued twice");
+        // Entry attributes are order-insensitive monotone folds of current
+        // member state (queued members never mutate), so first+add rebuilds
+        // the saved entry exactly; no placement decision re-runs.
+        if (!batch) {
+          batch = std::make_unique<Batch>(a);
+        } else {
+          batch->add(a);
+        }
+      }
+      SIMTY_CHECK_MSG(!batch->grace_interval().is_empty(),
+                      "AlarmManager::restore: entry without grace overlap");
+      batch->set_queue_pos(q.size());
+      q.push_back(std::move(batch));
+    }
+    for (std::size_t i = 1; i < q.size(); ++i) {
+      SIMTY_CHECK_MSG(q[i - 1]->delivery_time() <= q[i]->delivery_time(),
+                      "AlarmManager::restore: queue out of order");
+    }
+    for (const auto& batch : q) idx.insert(batch.get());
+    const std::uint64_t next_seq = s.u64();
+    SIMTY_CHECK_MSG(next_seq >= idx.next_seq(),
+                    "AlarmManager::restore: index insertion counter regressed");
+    idx.set_next_seq(next_seq);
+  }
+
+  if (s.boolean()) {
+    const std::uint64_t event = s.u64();
+    SIMTY_CHECK_MSG(event != 0,
+                    "AlarmManager::restore: null non-wakeup check event");
+    nonwakeup_check_ = sim::EventId{event};
+    sim_.rebind(*nonwakeup_check_, [this] {
+      nonwakeup_check_.reset();
+      if (device_.state() == hw::DeviceState::kAwake) {
+        deliver_due(AlarmKind::kNonWakeup);
+      }
+    });
+  }
+}
+
+std::function<void()> AlarmManager::rtc_handler() {
+  return [this] { deliver_due(AlarmKind::kWakeup); };
+}
+
+void AlarmManager::apply_grace_factor(double beta) {
+  SIMTY_CHECK_MSG(beta >= 0.0 && beta < 1.0, "grace factor must lie in [0, 1)");
+  for (auto& entry : registry_) {
+    Alarm& a = *entry.second.alarm;
+    if (a.spec().mode == RepeatMode::kOneShot) continue;
+    const Duration grace =
+        std::max(a.spec().repeat_interval * beta, a.spec().window_length);
+    a.set_grace_length(grace);
+  }
+  rebatch_all();
 }
 
 }  // namespace simty::alarm

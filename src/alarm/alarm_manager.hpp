@@ -28,6 +28,11 @@
 #include "hw/wakelock.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::alarm {
 
 /// What an alarm's task does once delivered: which components it wakelocks
@@ -165,6 +170,33 @@ class AlarmManager {
   /// policy's linear select_batch. For benchmarking the index against its
   /// reference; results are identical by contract.
   void set_indexed_selection(bool enabled) { indexed_selection_ = enabled; }
+
+  /// Maps a registered alarm back to its delivery handler on restore.
+  /// Closures are not serializable, so the owning workload components
+  /// re-supply each handler from the alarm's app identity and tag.
+  using HandlerResolver =
+      std::function<DeliveryHandler(AppId app, const std::string& tag)>;
+
+  /// Serializes the registry, both batch queues (structure, not policy
+  /// decisions), stats, and the pending non-wakeup check event.
+  void save(snapshot::Writer& w) const;
+
+  /// Rebuilds registry and queues from `s`; `resolver` re-supplies each
+  /// alarm's delivery handler. The queue structure is restored verbatim —
+  /// no policy decisions re-run — and the pending non-wakeup check is
+  /// rebound rather than rescheduled. The RTC carries its own programmed
+  /// deadline; it rebinds with rtc_handler() instead of reprogramming.
+  void restore(snapshot::SectionReader& s, const HandlerResolver& resolver);
+
+  /// The deliver-due closure reprogramming normally installs on the RTC —
+  /// hw::Rtc::restore needs it re-supplied.
+  std::function<void()> rtc_handler();
+
+  /// Applies a new grace factor β to every repeating alarm
+  /// (grace = max(β·repeat, window)) and rebatches under the current
+  /// policy — the warm-start sweep lever: a restored common prefix
+  /// continues under a different β.
+  void apply_grace_factor(double beta);
 
   /// Human-readable state dump (in the spirit of `dumpsys alarm`): both
   /// queues, every entry's attributes, and every member alarm.

@@ -73,6 +73,13 @@ class BatchIndex {
   void collect(const TimeInterval& interval, EntryIntervalKind kind,
                std::vector<std::size_t>& out) const;
 
+  /// Insertion-counter position, carried across snapshot/restore so a
+  /// restored index hands out the same priority stream as a straight run.
+  /// (Tree shape never leaks into results — collect() sorts by queue
+  /// position — but keeping the counter exact costs nothing.)
+  std::uint64_t next_seq() const { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
   /// Every indexed batch in key order — for invariant audits only.
   // simty-lint: allow(hot-path-owning)
   std::vector<const Batch*> entries_inorder() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::alarm {
 
@@ -57,6 +58,43 @@ void DozeController::exit_doze() {
   dozing_ = false;
   manager_.set_delivery_gate([this](TimePoint proposed) { return gate(proposed); });
   arm_idle_timer();
+}
+
+void DozeController::save(snapshot::Writer& w) const {
+  w.boolean(enabled_);
+  w.boolean(dozing_);
+  w.u64(schedule_index_);
+  w.i64(next_window_.us());
+  w.boolean(idle_timer_.has_value());
+  if (idle_timer_) w.u64(idle_timer_->value);
+  w.u64(doze_entries_);
+  w.u64(maintenance_windows_);
+}
+
+void DozeController::restore(snapshot::SectionReader& s) {
+  const bool enabled = s.boolean();
+  SIMTY_CHECK_MSG(enabled == enabled_,
+                  "DozeController::restore: enablement mismatch with the snapshot");
+  dozing_ = s.boolean();
+  const std::uint64_t index = s.u64();
+  SIMTY_CHECK_MSG(index < config_.window_schedule.size(),
+                  "DozeController::restore: schedule index out of range");
+  schedule_index_ = static_cast<std::size_t>(index);
+  next_window_ = TimePoint::from_us(s.i64());
+  // Any ctor-path idle timer died with the event-queue restore; drop the
+  // stale id and rebind the snapshot's pending timer, if one was armed.
+  idle_timer_.reset();
+  if (s.boolean()) {
+    const std::uint64_t event = s.u64();
+    SIMTY_CHECK_MSG(event != 0, "DozeController::restore: null idle timer event");
+    idle_timer_ = sim::EventId{event};
+    sim_.rebind(*idle_timer_, [this] {
+      idle_timer_.reset();
+      if (!dozing_) enter_doze();
+    });
+  }
+  doze_entries_ = s.u64();
+  maintenance_windows_ = s.u64();
 }
 
 void DozeController::arm_idle_timer() {

@@ -16,6 +16,11 @@
 #include "hw/device.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::alarm {
 
 /// Maintenance-window scheduler gating the RTC.
@@ -43,6 +48,13 @@ class DozeController {
   bool dozing() const { return dozing_; }
   std::uint64_t doze_entries() const { return doze_entries_; }
   std::uint64_t maintenance_windows() const { return maintenance_windows_; }
+
+  /// Serializes doze phase, window schedule position, and the pending idle
+  /// timer. restore() expects the controller to be enable()d exactly as the
+  /// saved one was (the gate and wake listener are re-installed by enable();
+  /// the idle timer is rebound, not re-armed).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   TimePoint gate(TimePoint proposed);

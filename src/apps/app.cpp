@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::apps {
 
@@ -25,13 +26,45 @@ void ResidentApp::launch(alarm::AlarmManager& manager, TimePoint now,
       profile_.name + ".major", app_id, profile_.mode, profile_.repeat,
       profile_.alpha, grace);
   app_id_ = app_id;
-  alarm_id_ = manager.register_alarm(
-      spec, now + profile_.repeat,
-      [this, &manager](const alarm::Alarm&, TimePoint delivered_at) {
-        ++deliveries_;
-        maybe_schedule_retry(manager, delivered_at);
-        return next_task();
-      });
+  alarm_id_ = manager.register_alarm(spec, now + profile_.repeat,
+                                     major_handler(manager));
+}
+
+alarm::DeliveryHandler ResidentApp::major_handler(alarm::AlarmManager& manager) {
+  return [this, &manager](const alarm::Alarm&, TimePoint delivered_at) {
+    ++deliveries_;
+    maybe_schedule_retry(manager, delivered_at);
+    return next_task();
+  };
+}
+
+alarm::DeliveryHandler ResidentApp::retry_handler() {
+  return [this](const alarm::Alarm&, TimePoint) { return next_task(); };
+}
+
+void ResidentApp::save(snapshot::Writer& w) const {
+  w.boolean(alarm_id_.has_value());
+  if (alarm_id_) w.u64(alarm_id_->value);
+  w.u32(app_id_.value);
+  w.u64(rng_.raw_state());
+  w.u64(rng_.raw_inc());
+  w.u64(deliveries_);
+  w.u64(retries_);
+}
+
+void ResidentApp::restore(snapshot::SectionReader& s) {
+  alarm_id_.reset();
+  if (s.boolean()) {
+    const std::uint64_t id = s.u64();
+    SIMTY_CHECK_MSG(id != 0, "ResidentApp::restore: null alarm id");
+    alarm_id_ = alarm::AlarmId{id};
+  }
+  app_id_ = alarm::AppId{s.u32()};
+  const std::uint64_t state = s.u64();
+  const std::uint64_t inc = s.u64();
+  rng_ = Rng::from_raw(state, inc);
+  deliveries_ = s.u64();
+  retries_ = s.u64();
 }
 
 void ResidentApp::maybe_schedule_retry(alarm::AlarmManager& manager, TimePoint now) {
@@ -44,8 +77,7 @@ void ResidentApp::maybe_schedule_retry(alarm::AlarmManager& manager, TimePoint n
       alarm::AlarmSpec::one_shot(
           profile_.name + ".retry." + std::to_string(retries_), app_id_,
           Duration::seconds(30)),
-      now + profile_.retry_backoff,
-      [this](const alarm::Alarm&, TimePoint) { return next_task(); });
+      now + profile_.retry_backoff, retry_handler());
 }
 
 alarm::TaskSpec ResidentApp::next_task() {

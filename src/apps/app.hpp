@@ -16,6 +16,11 @@
 #include "hw/component.hpp"
 #include "net/wifi_link.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::apps {
 
 /// Static description of one resident app's major alarm (a Table 3 row).
@@ -70,6 +75,19 @@ class ResidentApp {
 
   /// One-shot retries scheduled so far.
   std::uint64_t retries() const { return retries_; }
+
+  /// Delivery handler of the major alarm — the closure launch() registers,
+  /// exposed so a snapshot restore can re-attach it by tag.
+  alarm::DeliveryHandler major_handler(alarm::AlarmManager& manager);
+
+  /// Delivery handler of the one-shot retry alarms.
+  alarm::DeliveryHandler retry_handler();
+
+  /// Serializes launch state, the rng stream position, and counters. The
+  /// profile (and an imitated app's trace) is reconstructed from config,
+  /// not carried in the snapshot. ImitatedApp extends with its cursor.
+  virtual void save(snapshot::Writer& w) const;
+  virtual void restore(snapshot::SectionReader& s);
 
  protected:
   /// The task executed on each delivery; overridden by imitated apps.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
+
 namespace simty::apps {
 
 SystemAlarmSource::SystemAlarmSource(sim::Simulator& sim,
@@ -43,25 +46,66 @@ void SystemAlarmSource::start(TimePoint horizon) {
 }
 
 void SystemAlarmSource::spawn_next_one_shot() {
+  spawn_event_.reset();
   const Duration gap =
       Duration::from_seconds(rng_.exponential(config_.one_shot_mean.seconds_f()));
   const TimePoint when = sim_.now() + std::max(gap, Duration::seconds(1));
   if (when >= horizon_) return;
-  sim_.schedule_at(
-      when,
-      [this] {
-        ++one_shot_seq_;
-        manager_.register_alarm(
-            alarm::AlarmSpec::one_shot("system.oneshot." + std::to_string(one_shot_seq_),
-                                       kSystemApp, config_.one_shot_window),
-            sim_.now() + Duration::seconds(1),
-            [this](const alarm::Alarm&, TimePoint) {
-              ++one_shots_fired_;
-              return alarm::TaskSpec{};
-            });
-        spawn_next_one_shot();
-      },
-      sim::EventPriority::kApp, "system-one-shot-spawn");
+  spawn_event_ = sim_.schedule_at(when, [this] { on_spawn_event(); },
+                                  sim::EventPriority::kApp,
+                                  "system-one-shot-spawn");
+}
+
+void SystemAlarmSource::on_spawn_event() {
+  ++one_shot_seq_;
+  manager_.register_alarm(
+      alarm::AlarmSpec::one_shot("system.oneshot." + std::to_string(one_shot_seq_),
+                                 kSystemApp, config_.one_shot_window),
+      sim_.now() + Duration::seconds(1), one_shot_handler());
+  spawn_next_one_shot();
+}
+
+alarm::DeliveryHandler SystemAlarmSource::one_shot_handler() {
+  return [this](const alarm::Alarm&, TimePoint) {
+    ++one_shots_fired_;
+    return alarm::TaskSpec{};
+  };
+}
+
+alarm::DeliveryHandler SystemAlarmSource::handler_for(const std::string& tag) {
+  if (tag.rfind("android.", 0) == 0) {
+    return [](const alarm::Alarm&, TimePoint) { return alarm::TaskSpec{}; };
+  }
+  if (tag.rfind("system.oneshot.", 0) == 0) return one_shot_handler();
+  return {};
+}
+
+void SystemAlarmSource::save(snapshot::Writer& w) const {
+  w.u64(rng_.raw_state());
+  w.u64(rng_.raw_inc());
+  w.i64(horizon_.us());
+  w.u64(one_shots_fired_);
+  w.u64(one_shot_seq_);
+  w.boolean(spawn_event_.has_value());
+  if (spawn_event_) w.u64(spawn_event_->value);
+}
+
+void SystemAlarmSource::restore(snapshot::SectionReader& s) {
+  const std::uint64_t state = s.u64();
+  const std::uint64_t inc = s.u64();
+  rng_ = Rng::from_raw(state, inc);
+  horizon_ = TimePoint::from_us(s.i64());
+  one_shots_fired_ = s.u64();
+  one_shot_seq_ = s.u64();
+  // start()'s spawn event died with the queue restore; drop the stale id
+  // before rebinding the saved chain.
+  spawn_event_.reset();
+  if (s.boolean()) {
+    const std::uint64_t event = s.u64();
+    SIMTY_CHECK_MSG(event != 0, "SystemAlarmSource::restore: null spawn event");
+    spawn_event_ = sim::EventId{event};
+    sim_.rebind(*spawn_event_, [this] { on_spawn_event(); });
+  }
 }
 
 }  // namespace simty::apps

@@ -8,11 +8,18 @@
 // the paper's.
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "alarm/alarm_manager.hpp"
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
+
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
 
 namespace simty::apps {
 
@@ -54,14 +61,29 @@ class SystemAlarmSource {
   /// The app id all system alarms are registered under.
   static constexpr alarm::AppId kSystemApp{9999};
 
+  /// Resolves delivery handlers for system alarms on restore: "android.*"
+  /// services are stateless, "system.oneshot.*" handlers count firings.
+  /// Returns an empty handler for foreign tags.
+  alarm::DeliveryHandler handler_for(const std::string& tag);
+
+  /// Serializes the rng stream, counters, and the pending spawn event.
+  /// restore() overwrites whatever start() did on the fresh stack (the
+  /// registered alarms live in the manager's snapshot; start()'s spawn
+  /// event dies with the queue restore) and rebinds the saved spawn chain.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
+
  private:
   void spawn_next_one_shot();
+  void on_spawn_event();
+  alarm::DeliveryHandler one_shot_handler();
 
   sim::Simulator& sim_;
   alarm::AlarmManager& manager_;
   SystemAlarmConfig config_;
   Rng rng_;
   TimePoint horizon_;
+  std::optional<sim::EventId> spawn_event_;
   std::uint64_t one_shots_fired_ = 0;
   std::uint64_t one_shot_seq_ = 0;
 };

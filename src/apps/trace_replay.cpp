@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::apps {
 
@@ -24,6 +25,19 @@ alarm::TaskSpec IrregularApp::next_task() {
 ImitatedApp::ImitatedApp(AppProfile profile, AppTrace trace)
     : ResidentApp(std::move(profile), Rng(0)), trace_(std::move(trace)) {
   SIMTY_CHECK_MSG(!trace_.entries.empty(), "imitated app needs a non-empty trace");
+}
+
+void ImitatedApp::save(snapshot::Writer& w) const {
+  ResidentApp::save(w);
+  w.u64(cursor_);
+}
+
+void ImitatedApp::restore(snapshot::SectionReader& s) {
+  ResidentApp::restore(s);
+  const std::uint64_t cursor = s.u64();
+  SIMTY_CHECK_MSG(cursor < trace_.entries.size(),
+                  "ImitatedApp::restore: replay cursor past the trace");
+  cursor_ = static_cast<std::size_t>(cursor);
 }
 
 alarm::TaskSpec ImitatedApp::next_task() {

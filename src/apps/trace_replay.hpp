@@ -45,6 +45,11 @@ class ImitatedApp : public ResidentApp {
 
   const AppTrace& trace() const { return trace_; }
 
+  /// Base state plus the replay cursor; the trace itself is reconstructed
+  /// from config (same name-hash seed), not serialized.
+  void save(snapshot::Writer& w) const override;
+  void restore(snapshot::SectionReader& s) override;
+
  protected:
   alarm::TaskSpec next_task() override;
 

@@ -2,6 +2,7 @@
 
 #include "apps/app_catalog.hpp"
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::apps {
 
@@ -102,18 +103,64 @@ void Workload::deploy(sim::Simulator& sim, alarm::AlarmManager& manager,
                       const net::WifiLink* link) {
   TimePoint launch = TimePoint::origin() + config_.first_launch;
   std::uint32_t app_seq = 1;
+  launch_events_.clear();
+  launch_events_.reserve(apps_.size());
   for (const auto& app : apps_) {
     ResidentApp* raw = app.get();
     raw->attach_link(link);
     const alarm::AppId id{app_seq++};
     const double beta = config_.beta;
-    sim.schedule_at(
+    launch_events_.push_back(sim.schedule_at(
         launch,
         [raw, &manager, &sim, id, beta] {
           raw->launch(manager, sim.now(), id, beta);
         },
-        sim::EventPriority::kApp, "app-launch");
+        sim::EventPriority::kApp, "app-launch"));
     launch += config_.launch_gap;
+  }
+}
+
+alarm::DeliveryHandler Workload::handler_for(alarm::AlarmManager& manager,
+                                             alarm::AppId app,
+                                             const std::string& tag) {
+  if (app.value == 0 || app.value > apps_.size()) return {};
+  ResidentApp& owner = *apps_[app.value - 1];
+  const std::string& name = owner.profile().name;
+  if (tag == name + ".major") return owner.major_handler(manager);
+  if (tag.rfind(name + ".retry.", 0) == 0) return owner.retry_handler();
+  return {};
+}
+
+void Workload::save(snapshot::Writer& w) const {
+  w.u64(apps_.size());
+  for (const auto& app : apps_) app->save(w);
+  w.u64(launch_events_.size());
+  for (const sim::EventId id : launch_events_) w.u64(id.value);
+}
+
+void Workload::restore(snapshot::SectionReader& s, sim::Simulator& sim,
+                       alarm::AlarmManager& manager) {
+  const std::uint64_t app_count = s.u64();
+  SIMTY_CHECK_MSG(app_count == apps_.size(),
+                  "Workload::restore: app count mismatch with the snapshot");
+  for (const auto& app : apps_) app->restore(s);
+  const std::uint64_t event_count = s.u64();
+  SIMTY_CHECK_MSG(event_count == launch_events_.size(),
+                  "Workload::restore: launch event count mismatch");
+  s.check_count(event_count, 9);
+  for (std::size_t i = 0; i < launch_events_.size(); ++i) {
+    launch_events_[i] = sim::EventId{s.u64()};
+    // A launch that already fired left its alarm id behind; only still-
+    // pending launches have a live event to rebind. Rebinding captures the
+    // workload-config β — matching the straight run, where the launch
+    // closure was built before any β switch.
+    if (apps_[i]->alarm_id().has_value()) continue;
+    ResidentApp* raw = apps_[i].get();
+    const alarm::AppId id{static_cast<std::uint32_t>(i + 1)};
+    const double beta = config_.beta;
+    sim.rebind(launch_events_[i], [raw, &manager, &sim, id, beta] {
+      raw->launch(manager, sim.now(), id, beta);
+    });
   }
 }
 

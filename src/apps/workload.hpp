@@ -16,6 +16,11 @@
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::apps {
 
 /// Workload-wide knobs.
@@ -76,12 +81,26 @@ class Workload {
   const std::vector<std::unique_ptr<ResidentApp>>& apps() const { return apps_; }
   const WorkloadConfig& config() const { return config_; }
 
+  /// Resolves delivery handlers for this workload's alarms on restore:
+  /// "<name>.major" and "<name>.retry.N" tags map back to the deployed
+  /// app's handlers. Returns an empty handler for foreign tags.
+  alarm::DeliveryHandler handler_for(alarm::AlarmManager& manager,
+                                     alarm::AppId app, const std::string& tag);
+
+  /// Serializes per-app state and the pending launch events. restore()
+  /// requires an identically constructed (same factory, config) and
+  /// deploy()ed workload; launches that had not fired yet are rebound.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s, sim::Simulator& sim,
+               alarm::AlarmManager& manager);
+
  private:
   explicit Workload(WorkloadConfig config);
   void add_profiles(const std::vector<AppProfile>& profiles, Rng& rng);
 
   WorkloadConfig config_;
   std::vector<std::unique_ptr<ResidentApp>> apps_;
+  std::vector<sim::EventId> launch_events_;  // one per app, filled by deploy()
 };
 
 }  // namespace simty::apps

@@ -188,6 +188,25 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       plan.fleet_csv_path = *v;
       continue;
     }
+    if (arg == "--snapshot-at") {
+      const auto v = value();
+      const auto m = v ? parse_double(*v) : std::nullopt;
+      if (!m || *m <= 0.0) return fail("--snapshot-at needs positive minutes");
+      plan.snapshot_at_minutes = *m;
+      continue;
+    }
+    if (arg == "--save-snapshot") {
+      const auto v = value();
+      if (!v) return fail("--save-snapshot needs a path");
+      plan.save_snapshot_path = *v;
+      continue;
+    }
+    if (arg == "--restore-snapshot") {
+      const auto v = value();
+      if (!v) return fail("--restore-snapshot needs a path");
+      plan.restore_snapshot_path = *v;
+      continue;
+    }
     if (arg == "--csv") {
       const auto v = value();
       if (!v) return fail("--csv needs a path");
@@ -228,6 +247,28 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   if (!plan.fleet_devices && plan.fleet_csv_path) {
     return fail("--fleet-csv requires --fleet");
   }
+  if (plan.save_snapshot_path.has_value() != plan.snapshot_at_minutes.has_value()) {
+    return fail("--save-snapshot and --snapshot-at go together");
+  }
+  if (plan.save_snapshot_path && plan.restore_snapshot_path) {
+    return fail("--save-snapshot and --restore-snapshot are exclusive");
+  }
+  if (plan.fleet_devices &&
+      (plan.save_snapshot_path || plan.restore_snapshot_path)) {
+    return fail("snapshot flags apply to experiment runs, not --fleet "
+                "(fleet shards checkpoint via FleetConfig::checkpoint_dir)");
+  }
+  if (plan.snapshot_at_minutes &&
+      Duration::from_seconds(*plan.snapshot_at_minutes * 60.0) >=
+          plan.config.duration) {
+    return fail("--snapshot-at must fall inside the run duration");
+  }
+  if (plan.waveform_path &&
+      (plan.save_snapshot_path || plan.restore_snapshot_path)) {
+    // The waveform monitor is caller-owned and not serialized, so a resumed
+    // run's waveform would silently cover only the tail.
+    return fail("--waveform does not snapshot; drop it from save/restore runs");
+  }
   return ParseResult{plan, ""};
 }
 
@@ -256,6 +297,13 @@ std::string usage() {
       "  --cohorts FILE       cohort spec file (see EXPERIMENTS.md;\n"
       "                       default: the built-in three-cohort fleet)\n"
       "  --fleet-csv PATH     write full-precision fleet aggregates CSV\n"
+      "  --snapshot-at M      with --save-snapshot: pause each policy's\n"
+      "                       base-seed run at its first quiescent instant\n"
+      "                       past M minutes\n"
+      "  --save-snapshot PATH write PATH.<POLICY> snapshot files and exit\n"
+      "  --restore-snapshot PATH  resume each policy from PATH.<POLICY>;\n"
+      "                       capture flags (--delivery-log, --trace) must\n"
+      "                       match the save invocation\n"
       "  --csv PATH           write per-policy results CSV\n"
       "  --delivery-log PATH  write the delivery log of the last run\n"
       "  --waveform PATH      write the power waveform of the last run\n"

@@ -30,6 +30,18 @@ struct RunPlan {
   std::optional<std::string> fleet_csv_path;  // --fleet-csv PATH
 
 
+  /// Snapshot mode (exp/run.hpp): --snapshot-at M --save-snapshot PATH
+  /// pauses each selected policy's base-seed run at its first quiescent
+  /// instant past M minutes and writes PATH.<POLICY>; --restore-snapshot
+  /// PATH resumes each policy from those files and reports as usual.
+  /// Capture flags (--delivery-log, --trace) must match between the save
+  /// and restore invocations: captures serialize with the run, so the
+  /// snapshot must carry them for the resumed output to be byte-identical
+  /// to a straight run.
+  std::optional<double> snapshot_at_minutes;         // --snapshot-at M
+  std::optional<std::string> save_snapshot_path;     // --save-snapshot PATH
+  std::optional<std::string> restore_snapshot_path;  // --restore-snapshot PATH
+
   std::optional<std::string> csv_path;       // write results CSV here
   std::optional<std::string> delivery_log_path;  // write a delivery log here
   std::optional<std::string> waveform_path;  // write the power waveform here
@@ -59,6 +71,9 @@ struct ParseResult {
 ///   --jobs N|auto      parallel workers for repetitions (deterministic)
 ///   --no-system-alarms
 ///   --hw-levels 2|3|4  hardware-similarity granularity
+///   --snapshot-at M    pause the base-seed run at ~M minutes (quiescent)
+///   --save-snapshot PATH    write PATH.<POLICY> snapshot files and exit
+///   --restore-snapshot PATH resume from PATH.<POLICY> files
 ///   --csv PATH         write per-column results CSV
 ///   --delivery-log PATH  write the delivery log of the LAST run
 ///   --waveform PATH    write the power waveform of the LAST run

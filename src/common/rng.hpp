@@ -40,6 +40,17 @@ class Rng {
   /// Derives an independent child stream (for per-app RNGs).
   Rng fork(std::uint64_t salt);
 
+  /// Raw stream position, for snapshot/restore. `inc` identifies the
+  /// stream, `state` its position; from_raw() resumes mid-stream exactly.
+  std::uint64_t raw_state() const { return state_; }
+  std::uint64_t raw_inc() const { return inc_; }
+  static Rng from_raw(std::uint64_t state, std::uint64_t inc) {
+    Rng r(0, 0);
+    r.state_ = state;
+    r.inc_ = inc;
+    return r;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

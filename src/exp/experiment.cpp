@@ -3,26 +3,8 @@
 #include <algorithm>
 #include <array>
 
-#include "alarm/alarm_manager.hpp"
-#include "alarm/doze.hpp"
-#include "alarm/duration_policy.hpp"
-#include "alarm/exact_policy.hpp"
-#include "alarm/native_policy.hpp"
-#include "alarm/simty_policy.hpp"
-#include "apps/system_alarms.hpp"
 #include "common/check.hpp"
 #include "exp/parallel_runner.hpp"
-#include "hw/battery.hpp"
-#include "hw/device.hpp"
-#include "hw/power_bus.hpp"
-#include "hw/rtc.hpp"
-#include "hw/wakelock.hpp"
-#include "metrics/delay_stats.hpp"
-#include "metrics/interval_audit.hpp"
-#include "metrics/wakeup_breakdown.hpp"
-#include "power/monitor.hpp"
-#include "sim/simulator.hpp"
-#include "trace/tracer.hpp"
 
 namespace simty::exp {
 
@@ -45,140 +27,8 @@ const char* to_string(WorkloadKind w) {
   return "?";
 }
 
-namespace {
-
-std::unique_ptr<alarm::AlignmentPolicy> make_policy(const ExperimentConfig& config) {
-  switch (config.policy) {
-    case PolicyKind::kNative: return std::make_unique<alarm::NativePolicy>();
-    case PolicyKind::kSimty:
-      return std::make_unique<alarm::SimtyPolicy>(config.similarity);
-    case PolicyKind::kExact: return std::make_unique<alarm::ExactPolicy>();
-    case PolicyKind::kSimtyDuration:
-      return std::make_unique<alarm::DurationSimtyPolicy>(config.similarity);
-  }
-  SIMTY_CHECK_MSG(false, "unknown policy kind");
-  return nullptr;
-}
-
-apps::Workload make_workload(const ExperimentConfig& config) {
-  apps::WorkloadConfig wc;
-  wc.seed = config.seed;
-  wc.beta = config.beta;
-  if (!config.custom_profiles.empty()) {
-    return apps::Workload::from_profiles(config.custom_profiles, wc);
-  }
-  switch (config.workload) {
-    case WorkloadKind::kLight: return apps::Workload::light(wc);
-    case WorkloadKind::kHeavy: return apps::Workload::heavy(wc);
-    case WorkloadKind::kSynthetic:
-      return apps::Workload::synthetic(config.synthetic_apps, wc);
-  }
-  SIMTY_CHECK_MSG(false, "unknown workload kind");
-  return apps::Workload::light(wc);
-}
-
-}  // namespace
-
-RunResult run_experiment(const ExperimentConfig& config) {
-  // Thread-local install: on the parallel path only the worker running this
-  // config records, so the trace content is identical to a serial run.
-  const trace::TraceScope trace_scope(config.tracer);
-  SIMTY_TRACE_SPAN_BEGIN(TimePoint::origin(), trace::TraceCategory::kExp, "run",
-                         static_cast<std::int64_t>(config.seed));
-  sim::Simulator sim(config.arena_opts.arena);
-  hw::PowerBus bus;
-  power::EnergyAccountant accountant;
-  power::PowerMonitor monitor;
-  bus.add_listener(&accountant);
-  bus.add_listener(&monitor);
-  if (config.extra_power_listener != nullptr) {
-    bus.add_listener(config.extra_power_listener);
-  }
-
-  const hw::PowerModel& model = config.power_model;
-  hw::Device device(sim, model, bus);
-  hw::Rtc rtc(sim, device);
-  hw::WakelockManager wakelocks(sim, model, bus);
-  alarm::AlarmManager manager(sim, device, rtc, wakelocks, make_policy(config),
-                              config.arena_opts.arena);
-
-  metrics::DelayStats delays;
-  metrics::WakeupAccounting wakeup_accounting;
-  metrics::IntervalAudit audit;
-  std::uint64_t perceptible_misses = 0;
-  std::uint64_t one_shots = 0;
-  manager.add_delivery_observer(delays.observer());
-  manager.add_delivery_observer(wakeup_accounting.observer());
-  manager.add_delivery_observer(audit.observer());
-  manager.add_delivery_observer([&](const alarm::DeliveryRecord& r) {
-    if (r.mode == alarm::RepeatMode::kOneShot) ++one_shots;
-    // Perceptible deliveries must land inside the window; allow the wake
-    // latency slip the paper itself observed.
-    if (r.was_perceptible &&
-        r.delivered > r.window.end() + model.wake_latency) {
-      ++perceptible_misses;
-    }
-  });
-
-  if (config.extra_delivery_observer) {
-    manager.add_delivery_observer(config.extra_delivery_observer);
-  }
-  if (config.extra_session_observer) {
-    manager.add_session_observer(config.extra_session_observer);
-  }
-
-  apps::Workload workload = make_workload(config);
-  workload.deploy(sim, manager);
-
-  alarm::DozeController doze(sim, manager, device, alarm::DozeController::Config{});
-  if (config.doze) doze.enable();
-
-  const TimePoint horizon = TimePoint::origin() + config.duration;
-  std::unique_ptr<apps::SystemAlarmSource> system_alarms;
-  if (config.system_alarms) {
-    apps::SystemAlarmConfig sys_cfg;
-    sys_cfg.beta = config.beta;
-    system_alarms = std::make_unique<apps::SystemAlarmSource>(
-        sim, manager, sys_cfg, Rng(config.seed, 0x515));
-    system_alarms->start(horizon);
-  }
-
-  sim.run_until(horizon);
-  device.finalize(horizon);
-  wakelocks.finalize(horizon);
-  accountant.finalize(horizon);
-  monitor.finalize(horizon);
-  SIMTY_TRACE_SPAN_END(horizon, trace::TraceCategory::kExp, "run",
-                       static_cast<std::int64_t>(config.seed));
-
-  RunResult r;
-  r.policy_name = manager.policy().name();
-  r.duration = config.duration;
-  r.energy = accountant.breakdown();
-  r.average_power_mw = accountant.average_power().mw();
-  const hw::Battery battery = hw::Battery::nexus5();
-  r.projected_standby_hours =
-      battery.projected_standby(accountant.average_power()).seconds_f() / 3600.0;
-  r.delay_perceptible = delays.perceptible().average();
-  r.delay_imperceptible = delays.imperceptible().average();
-  if (!delays.imperceptible_distribution().empty()) {
-    r.delay_imperceptible_p95 = delays.imperceptible_distribution().quantile(0.95);
-  }
-  for (const metrics::BreakdownRow& row : wakeup_accounting.rows(device, wakelocks)) {
-    r.wakeups.push_back(RunResult::HwCounts{
-        row.hardware, static_cast<double>(row.actual),
-        static_cast<double>(row.expected)});
-  }
-  r.deliveries = static_cast<double>(manager.stats().deliveries);
-  r.batches_delivered = static_cast<double>(manager.stats().batches_delivered);
-  r.one_shots = static_cast<double>(one_shots);
-  r.awake_seconds = device.total_awake_time().seconds_f();
-  r.asleep_seconds = device.total_asleep_time().seconds_f();
-  r.worst_gap_ratio = audit.worst_gap_ratio();
-  r.gap_violations = audit.check_bounds(config.beta).size();
-  r.perceptible_window_misses = perceptible_misses;
-  return r;
-}
+// run_experiment lives in exp/run.cpp: it is now a thin wrapper over the
+// resumable exp::Run harness, which owns the stack-assembly order.
 
 RunResult average_results(const std::vector<RunResult>& results) {
   SIMTY_CHECK(!results.empty());

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,24 @@ struct ExperimentConfig {
   /// intentionally breaks the §3.2.2 guarantees — gap_violations and
   /// worst_gap_ratio in the result quantify the damage.
   bool doze = false;
+
+  /// Mid-run grace-factor switch: at origin + `at` the platform re-grades
+  /// every repeating alarm to grace = max(β·repeat, window) and rebatches
+  /// (alarm::AlarmManager::apply_grace_factor). β lives only in the switch
+  /// event's closure, never in serialized state, so exp::Run snapshots
+  /// taken before `at` are byte-identical across configs differing only in
+  /// `beta` — the common prefix the sweep server warm-starts from.
+  struct BetaSwitch {
+    Duration at = Duration::zero();
+    double beta = apps::kPaperBeta;
+  };
+  std::optional<BetaSwitch> beta_switch;
+
+  /// Captures a trace::DeliveryLog inside the run (exp::Run::delivery_log).
+  /// Unlike extra_delivery_observer, the internal log serializes with the
+  /// run's snapshot, so a checkpoint-resumed run exports a byte-identical
+  /// CSV. Does not force the serial path.
+  bool capture_delivery_log = false;
 
   /// Optional extra observers wired into the run's alarm manager (e.g. a
   /// trace::DeliveryLog or a power::AppEnergyAttributor).

@@ -1,8 +1,48 @@
 #include "fleet/aggregate.hpp"
 
 #include "exp/experiment.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::fleet {
+
+void MetricAggregate::save(snapshot::Writer& w) const {
+  const OnlineStats::State s = stats_.state();
+  w.u64(s.n);
+  w.f64(s.mean);
+  w.f64(s.m2);
+  w.f64(s.min);
+  w.f64(s.max);
+  hist_.save(w);
+}
+
+void MetricAggregate::restore(snapshot::SectionReader& s) {
+  OnlineStats::State st;
+  st.n = s.u64();
+  st.mean = s.f64();
+  st.m2 = s.f64();
+  st.min = s.f64();
+  st.max = s.f64();
+  stats_ = OnlineStats::from_state(st);
+  hist_.restore(s);
+}
+
+void CohortAggregate::save(snapshot::Writer& w) const {
+  w.str(cohort);
+  w.u64(devices);
+  energy_j.save(w);
+  avg_power_mw.save(w);
+  wakeups_per_hour.save(w);
+  delay_norm.save(w);
+}
+
+void CohortAggregate::restore(snapshot::SectionReader& s) {
+  cohort = s.str();
+  devices = s.u64();
+  energy_j.restore(s);
+  avg_power_mw.restore(s);
+  wakeups_per_hour.restore(s);
+  delay_norm.restore(s);
+}
 
 DeviceMetrics device_metrics(const exp::RunResult& r) {
   DeviceMetrics m;

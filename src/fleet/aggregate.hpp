@@ -24,6 +24,11 @@ namespace simty::exp {
 struct RunResult;
 }
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::fleet {
 
 /// Histogram geometries, shared by every shard so sketches merge. Linear
@@ -58,6 +63,11 @@ class MetricAggregate {
 
   /// Sketch quantile; 0 when empty.
   double quantile(double q) const { return hist_.empty() ? 0.0 : hist_.quantile(q); }
+
+  /// Writes exact state (Welford doubles raw, histogram counts) into the
+  /// current open section; restore() requires matching histogram geometry.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   OnlineStats stats_;
@@ -94,6 +104,13 @@ struct CohortAggregate {
     wakeups_per_hour.add(m.wakeups_per_hour);
     delay_norm.add(m.delay_norm);
   }
+
+  /// Serializes name, device count and all four metric streams into the
+  /// current open section. restore() overwrites this aggregate wholesale
+  /// (including the name) and is bit-exact: continuing the same device
+  /// add-sequence after a restore reproduces the straight-run aggregate.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
   /// Folds `other` in; keeps this aggregate's name.
   void merge(const CohortAggregate& other) {

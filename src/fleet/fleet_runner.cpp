@@ -1,11 +1,14 @@
 #include "fleet/fleet_runner.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
+#include <stdexcept>
 
 #include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::fleet {
@@ -30,28 +33,95 @@ namespace {
 
 /// A contiguous device-major slice of one cohort.
 struct Shard {
+  std::size_t index = 0;  // ordinal in submission order (checkpoint file name)
   std::size_t cohort = 0;
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
 };
 
+constexpr std::uint32_t kShardCkptVersion = 1;
+
+std::string shard_ckpt_path(const FleetConfig& config, const Shard& shard) {
+  return config.checkpoint_dir + "/shard_" + std::to_string(shard.index) +
+         ".ckpt";
+}
+
+/// Writes the shard's resumable state: identity (index, cohort, range),
+/// the next device to run, and the exact aggregate so far. Atomic rename
+/// keeps a kill mid-write from leaving a torn checkpoint behind.
+void write_shard_ckpt(const std::string& path, const CohortSpec& spec,
+                      const Shard& shard, std::uint64_t next_device,
+                      const CohortAggregate& agg) {
+  snapshot::Writer w;
+  w.begin_section("fleet-shard", kShardCkptVersion);
+  w.u64(shard.index);
+  w.str(spec.name);
+  w.u64(shard.begin);
+  w.u64(shard.end);
+  w.u64(next_device);
+  agg.save(w);
+  w.end_section();
+  snapshot::write_file_atomic(path, w.finish());
+}
+
+/// Loads a checkpoint and verifies it belongs to this shard of this fleet
+/// (a stale directory from a different partition must fail loudly, not
+/// silently skew aggregates). Returns the device index to resume at.
+std::uint64_t read_shard_ckpt(const std::string& path, const CohortSpec& spec,
+                              const Shard& shard, CohortAggregate& agg) {
+  const snapshot::Reader reader(snapshot::read_file(path));
+  snapshot::SectionReader s = reader.section("fleet-shard", kShardCkptVersion);
+  SIMTY_CHECK_MSG(s.u64() == shard.index, "shard checkpoint: index mismatch");
+  SIMTY_CHECK_MSG(s.str() == spec.name, "shard checkpoint: cohort mismatch");
+  SIMTY_CHECK_MSG(s.u64() == shard.begin, "shard checkpoint: begin mismatch");
+  SIMTY_CHECK_MSG(s.u64() == shard.end, "shard checkpoint: end mismatch");
+  const std::uint64_t next_device = s.u64();
+  SIMTY_CHECK_MSG(next_device >= shard.begin && next_device <= shard.end,
+                  "shard checkpoint: resume point outside shard");
+  agg.restore(s);
+  SIMTY_CHECK_MSG(agg.devices == next_device - shard.begin,
+                  "shard checkpoint: aggregate count disagrees with cursor");
+  return next_device;
+}
+
 CohortAggregate run_shard(const CohortSpec& spec, const FleetConfig& config,
                           const Shard& shard) {
   CohortAggregate agg(spec.name);
+  std::uint64_t resume_at = shard.begin;
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const std::string ckpt_path =
+      checkpointing ? shard_ckpt_path(config, shard) : std::string();
+  if (checkpointing && std::filesystem::exists(ckpt_path)) {
+    resume_at = read_shard_ckpt(ckpt_path, spec, shard, agg);
+  }
   // One arena per shard: each device run carves its event-queue slabs and
   // batch-index nodes from it, and the reset between devices rewinds the
   // same blocks instead of hitting the allocator — after the first device,
   // the shard loop's run storage is allocation-free (see the alloc-gate
   // test). Arena presence never changes a result bit.
   common::Arena arena;
-  for (std::uint64_t d = shard.begin; d < shard.end; ++d) {
+  std::uint64_t processed = 0;  // devices run in THIS invocation
+  for (std::uint64_t d = resume_at; d < shard.end; ++d) {
+    if (config.fault_shard == static_cast<std::int64_t>(shard.index) &&
+        processed == config.fault_after_devices) {
+      throw std::runtime_error("fleet: injected fault in shard " +
+                               std::to_string(shard.index));
+    }
     const DeviceSample sample = sample_device(spec, config.seed, d);
     arena.reset();
     exp::ExperimentConfig device_cfg =
         device_config(spec, sample, config.policy, config.similarity);
     device_cfg.arena_opts.arena = &arena;
     agg.add(device_metrics(exp::run_experiment(device_cfg)));
+    ++processed;
+    if (checkpointing && config.checkpoint_every > 0 &&
+        processed % config.checkpoint_every == 0) {
+      write_shard_ckpt(ckpt_path, spec, shard, d + 1, agg);
+    }
   }
+  // Final checkpoint (cursor == end): a restart after this shard finished
+  // restores the complete aggregate instead of recomputing the shard.
+  if (checkpointing) write_shard_ckpt(ckpt_path, spec, shard, shard.end, agg);
   return agg;
 }
 
@@ -69,8 +139,12 @@ FleetResult run_fleet(const FleetConfig& config) {
   std::vector<Shard> shards;
   for (std::size_t i = 0; i < cohorts.size(); ++i) {
     for (std::uint64_t b = 0; b < counts[i]; b += config.shard_devices) {
-      shards.push_back(Shard{i, b, std::min(b + config.shard_devices, counts[i])});
+      shards.push_back(Shard{shards.size(), i, b,
+                             std::min(b + config.shard_devices, counts[i])});
     }
+  }
+  if (!config.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(config.checkpoint_dir);
   }
 
   // Fleet-level spans only, on the calling thread: device runs install a

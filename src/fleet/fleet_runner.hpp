@@ -56,6 +56,24 @@ struct FleetConfig {
   /// Optional run tracer; fleet-level spans are recorded on the calling
   /// thread only (device runs stay untraced, serial and parallel alike).
   trace::Tracer* tracer = nullptr;
+
+  /// Directory for per-shard checkpoint files (shard_<i>.ckpt); empty
+  /// disables checkpointing. A killed run restarted with the same config
+  /// and directory resumes every shard from its last checkpoint and
+  /// produces aggregates bit-identical to an uninterrupted run: each
+  /// checkpoint snapshots the shard's CohortAggregate at a device
+  /// boundary, and resuming continues the exact same add-sequence.
+  std::string checkpoint_dir;
+
+  /// Devices between checkpoint writes within a shard. Checkpoint cadence
+  /// never changes results — only how much work a restart repeats.
+  std::uint64_t checkpoint_every = 64;
+
+  /// Fault injection for restart tests: the shard with this index (in
+  /// submission order) throws std::runtime_error after processing
+  /// `fault_after_devices` devices in the current invocation. -1 disables.
+  std::int64_t fault_shard = -1;
+  std::uint64_t fault_after_devices = 0;
 };
 
 /// Aggregated outcome of one fleet run.

@@ -49,6 +49,14 @@ ComponentSet ComponentSet::all() {
   return s;
 }
 
+ComponentSet ComponentSet::from_bits(std::uint32_t bits) {
+  SIMTY_CHECK_MSG(bits < (1u << kComponentCount),
+                  "ComponentSet::from_bits: bits outside the modelled components");
+  ComponentSet s;
+  s.bits_ = bits;
+  return s;
+}
+
 std::size_t ComponentSet::size() const {
   return static_cast<std::size_t>(std::popcount(bits_));
 }

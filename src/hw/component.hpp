@@ -58,6 +58,10 @@ class ComponentSet {
   /// Set with every modelled component.
   static ComponentSet all();
 
+  /// Rebuilds a set from bits() output (snapshot restore); bits outside
+  /// the modelled components are rejected.
+  static ComponentSet from_bits(std::uint32_t bits);
+
   bool empty() const { return bits_ == 0; }
   std::size_t size() const;
   bool contains(Component c) const;

@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::hw {
@@ -113,6 +114,37 @@ void Device::finalize(TimePoint now) {
   SIMTY_CHECK(now >= state_since_);
   time_in_state_[static_cast<std::size_t>(state_)] += now - state_since_;
   state_since_ = now;
+}
+
+void Device::save(snapshot::Writer& w) const {
+  SIMTY_CHECK_MSG(quiescent(), "Device::save: checkpoint outside a quiescent instant");
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.i64(state_since_.us());
+  w.u8(static_cast<std::uint8_t>(current_wake_reason_));
+  w.u64(wakeup_count_);
+  for (const std::uint64_t n : wakeups_by_reason_) w.u64(n);
+  for (const Duration d : time_in_state_) w.i64(d.us());
+}
+
+void Device::restore(snapshot::SectionReader& s) {
+  const std::uint8_t state = s.u8();
+  SIMTY_CHECK_MSG(state == static_cast<std::uint8_t>(DeviceState::kAsleep),
+                  "Device::restore: snapshot not taken at a quiescent instant");
+  state_ = DeviceState::kAsleep;
+  state_since_ = TimePoint::from_us(s.i64());
+  const std::uint8_t reason = s.u8();
+  SIMTY_CHECK_MSG(reason < 3, "Device::restore: wake reason out of range");
+  current_wake_reason_ = static_cast<WakeReason>(reason);
+  wakeup_count_ = s.u64();
+  for (std::uint64_t& n : wakeups_by_reason_) n = s.u64();
+  for (Duration& d : time_in_state_) d = Duration::micros(s.i64());
+  cpu_locks_ = 0;
+  pending_ready_.clear();
+  wake_event_.reset();
+  sleep_event_.reset();
+  // Re-announce the (asleep) base rail so a fresh bus listener stack starts
+  // from the restored state rather than the constructor's t=0 publish.
+  bus_.publish_device_state(sim_.now(), state_, base_level_for(model_, state_));
 }
 
 void Device::enter_state(DeviceState next) {

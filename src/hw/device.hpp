@@ -19,6 +19,11 @@
 #include "hw/power_model.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::hw {
 
 /// Why the platform was asked to wake up.
@@ -70,6 +75,20 @@ class Device {
 
   /// Flushes state-duration accounting up to `now` (call at end of run).
   void finalize(TimePoint now);
+
+  /// True when the device holds no transient state a snapshot cannot carry:
+  /// asleep, no CPU locks, no queued wake requesters, no in-flight wake or
+  /// suspend event. Checkpoints are only taken at such instants.
+  bool quiescent() const {
+    return state_ == DeviceState::kAsleep && cpu_locks_ == 0 &&
+           pending_ready_.empty() && !wake_event_ && !sleep_event_;
+  }
+
+  /// Serializes the FSM scalars and statistics; requires quiescent().
+  /// Wake listeners are wiring, not state — the restore-side constructor
+  /// re-registers them before restore() is called.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   void enter_state(DeviceState next);

@@ -1,6 +1,7 @@
 #include "hw/rtc.hpp"
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::hw {
 
@@ -23,6 +24,32 @@ void Rtc::clear() {
   }
   deadline_.reset();
   handler_ = nullptr;
+}
+
+void Rtc::save(snapshot::Writer& w) const {
+  w.boolean(deadline_.has_value());
+  if (deadline_) {
+    w.i64(deadline_->us());
+    w.u64(event_ ? event_->value : 0);
+  }
+  w.u64(fired_);
+}
+
+void Rtc::restore(snapshot::SectionReader& s, std::function<void()> handler) {
+  event_.reset();
+  deadline_.reset();
+  handler_ = nullptr;
+  if (s.boolean()) {
+    deadline_ = TimePoint::from_us(s.i64());
+    const std::uint64_t id = s.u64();
+    SIMTY_CHECK_MSG(id != 0, "Rtc::restore: programmed interrupt without an event");
+    SIMTY_CHECK_MSG(static_cast<bool>(handler),
+                    "Rtc::restore: programmed interrupt needs a handler");
+    event_ = sim::EventId{id};
+    handler_ = std::move(handler);
+    sim_.rebind(*event_, [this] { fire(); });
+  }
+  fired_ = s.u64();
 }
 
 void Rtc::fire() {

@@ -14,6 +14,11 @@
 #include "hw/device.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::hw {
 
 /// Single-slot RTC wake interrupt.
@@ -36,6 +41,12 @@ class Rtc {
 
   /// Interrupts fired so far.
   std::uint64_t fired_count() const { return fired_; }
+
+  /// Serializes the programmed deadline (if any) and counters. The handler
+  /// is not serializable; restore() takes a fresh one from the owner (the
+  /// alarm manager re-supplies its deliver-due closure).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s, std::function<void()> handler);
 
  private:
   void fire();

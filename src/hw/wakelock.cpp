@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::hw {
@@ -143,6 +144,74 @@ std::size_t WakelockManager::audit(TimePoint now) {
     }
   }
   return found;
+}
+
+void WakelockManager::save(snapshot::Writer& w) const {
+  SIMTY_CHECK_MSG(held_.empty(), "WakelockManager::save: locks still held");
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    w.i64(on_since_[i].us());
+    w.i64(tail_since_[i].us());
+    w.u64(tail_event_[i] ? tail_event_[i]->value : 0);
+    w.boolean(tail_override_[i].has_value());
+    w.i64(tail_override_[i].value_or(Duration::zero()).us());
+    w.u64(usage_[i].cycles);
+    w.u64(usage_[i].acquisitions);
+    w.u64(usage_[i].warm_starts);
+    w.i64(usage_[i].on_time.us());
+    w.i64(usage_[i].tail_time.us());
+  }
+  w.u64(anomalies_.size());
+  for (const WakelockAnomaly& a : anomalies_) {
+    w.u8(static_cast<std::uint8_t>(a.component));
+    w.str(a.holder);
+    w.i64(a.acquired_at.us());
+    w.i64(a.held_for.us());
+    w.boolean(a.still_held);
+  }
+  w.i64(watchdog_threshold_.us());
+  w.u64(next_id_);
+}
+
+void WakelockManager::restore(snapshot::SectionReader& s) {
+  held_.clear();
+  counts_.fill(0);
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    on_since_[i] = TimePoint::from_us(s.i64());
+    tail_since_[i] = TimePoint::from_us(s.i64());
+    const std::uint64_t tail_id = s.u64();
+    tail_event_[i].reset();
+    const bool has_override = s.boolean();
+    const Duration override_tail = Duration::micros(s.i64());
+    tail_override_[i] =
+        has_override ? std::optional<Duration>(override_tail) : std::nullopt;
+    usage_[i].cycles = s.u64();
+    usage_[i].acquisitions = s.u64();
+    usage_[i].warm_starts = s.u64();
+    usage_[i].on_time = Duration::micros(s.i64());
+    usage_[i].tail_time = Duration::micros(s.i64());
+    if (tail_id != 0) {
+      tail_event_[i] = sim::EventId{tail_id};
+      sim_.rebind(*tail_event_[i], [this, i] { end_tail(i); });
+    }
+  }
+  const std::uint64_t anomaly_count = s.u64();
+  s.check_count(anomaly_count, 2 + 9 + 3 * 9 + 2);
+  anomalies_.clear();
+  anomalies_.reserve(anomaly_count);
+  for (std::uint64_t i = 0; i < anomaly_count; ++i) {
+    WakelockAnomaly a;
+    const std::uint8_t component = s.u8();
+    SIMTY_CHECK_MSG(component < kComponentCount,
+                    "WakelockManager::restore: component out of range");
+    a.component = static_cast<Component>(component);
+    a.holder = s.str();
+    a.acquired_at = TimePoint::from_us(s.i64());
+    a.held_for = Duration::micros(s.i64());
+    a.still_held = s.boolean();
+    anomalies_.push_back(std::move(a));
+  }
+  watchdog_threshold_ = Duration::micros(s.i64());
+  next_id_ = s.u64();
 }
 
 void WakelockManager::finalize(TimePoint now) {

@@ -22,6 +22,11 @@
 #include "hw/power_model.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::hw {
 
 /// Ticket returned by acquire(); pass back to release().
@@ -104,6 +109,12 @@ class WakelockManager {
 
   /// Flushes on-time accounting for still-powered components up to `now`.
   void finalize(TimePoint now);
+
+  /// Serializes counters, tail timers, and usage; requires that no lock is
+  /// held (checkpoints happen at device-quiescent instants, but a radio
+  /// tail may still be lingering — its timer event is carried and rebound).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   struct Held {

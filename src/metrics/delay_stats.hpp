@@ -9,6 +9,11 @@
 #include "alarm/alarm_manager.hpp"
 #include "metrics/histogram.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::metrics {
 
 /// Accumulated delay statistics for one perceptibility class.
@@ -45,6 +50,10 @@ class DelayStats {
 
   /// Normalized delay of a single record (exposed for tests/analysis).
   static double normalized_delay(const alarm::DeliveryRecord& record);
+
+  /// Serializes both delay groups and the imperceptible distribution.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   DelayGroup perceptible_;

@@ -11,6 +11,11 @@
 #include <string>
 #include <vector>
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::metrics {
 
 /// Linear-bucket histogram over [0, upper); values beyond land in an
@@ -46,6 +51,12 @@ class Histogram {
 
   /// Compact ASCII sparkline-style rendering, e.g. for bench output.
   std::string render(int max_width = 40) const;
+
+  /// Serializes geometry and contents. restore() requires this object to
+  /// have been constructed with the same geometry (upper bound and bucket
+  /// count) as the saved one — geometry is config, contents are state.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   double upper_;

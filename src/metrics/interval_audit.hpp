@@ -11,6 +11,11 @@
 
 #include "alarm/alarm_manager.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::metrics {
 
 /// Gap statistics for one repeating alarm.
@@ -55,6 +60,10 @@ class IntervalAudit {
 
   /// Worst max-gap/ReIn ratio over imperceptible repeating alarms.
   double worst_gap_ratio() const;
+
+  /// Serializes both per-alarm maps; restore replaces any existing state.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   std::map<std::uint64_t, GapStats> stats_;

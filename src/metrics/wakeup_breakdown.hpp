@@ -13,6 +13,11 @@
 #include "hw/device.hpp"
 #include "hw/wakelock.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::metrics {
 
 /// One Table 4 row.
@@ -42,6 +47,10 @@ class WakeupAccounting {
   /// paper), Wi-Fi, WPS, Accelerometer.
   std::vector<BreakdownRow> rows(const hw::Device& device,
                                  const hw::WakelockManager& wakelocks) const;
+
+  /// Serializes the expected-count accumulators.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   std::uint64_t total_deliveries_ = 0;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::net {
@@ -19,20 +20,57 @@ void CellularStandby::deploy(const std::vector<CellularSyncSpec>& specs, Rng rng
     // Per-app child stream: the draw sequence of one app is independent of
     // how many deliveries the others make.
     auto app_rng = std::make_shared<Rng>(rng.fork(app_seq));
-    const Duration hold = spec.hold;
-    const double jitter = spec.hold_jitter;
-    RrcMachine* rrc = &rrc_;
+    deployed_.push_back(DeployedSync{spec, app_rng});
     manager_.register_alarm(
         alarm::AlarmSpec::repeating(spec.name + ".cell", alarm::AppId{app_seq},
                                     spec.mode, spec.repeat, spec.alpha, beta),
         TimePoint::origin() + Duration::seconds(5 + app_seq * 7) + spec.repeat,
-        [rrc, hold, jitter, app_rng](const alarm::Alarm&, TimePoint) {
-          const Duration h = hold * app_rng->uniform(1.0 - jitter, 1.0 + jitter);
-          rrc->data_activity(h);
-          // CPU-only task spec: the radio rail is billed by the RRC machine.
-          return alarm::TaskSpec{hw::ComponentSet::none(), h};
-        });
+        sync_handler(deployed_.back()));
     ++app_seq;
+  }
+}
+
+alarm::DeliveryHandler CellularStandby::sync_handler(const DeployedSync& sync) {
+  const Duration hold = sync.spec.hold;
+  const double jitter = sync.spec.hold_jitter;
+  std::shared_ptr<Rng> app_rng = sync.rng;
+  RrcMachine* rrc = &rrc_;
+  return [rrc, hold, jitter, app_rng](const alarm::Alarm&, TimePoint) {
+    const Duration h = hold * app_rng->uniform(1.0 - jitter, 1.0 + jitter);
+    rrc->data_activity(h);
+    // CPU-only task spec: the radio rail is billed by the RRC machine.
+    return alarm::TaskSpec{hw::ComponentSet::none(), h};
+  };
+}
+
+alarm::DeliveryHandler CellularStandby::handler_for(const std::string& tag) {
+  for (const DeployedSync& sync : deployed_) {
+    if (tag == sync.spec.name + ".cell") return sync_handler(sync);
+  }
+  return {};
+}
+
+void CellularStandby::save(snapshot::Writer& w) const {
+  w.boolean(finalized_);
+  rrc_.save(w);
+  w.u64(deployed_.size());
+  for (const DeployedSync& sync : deployed_) {
+    w.u64(sync.rng->raw_state());
+    w.u64(sync.rng->raw_inc());
+  }
+}
+
+void CellularStandby::restore(snapshot::SectionReader& s) {
+  finalized_ = s.boolean();
+  rrc_.restore(s);
+  const std::uint64_t count = s.u64();
+  SIMTY_CHECK_MSG(count == deployed_.size(),
+                  "CellularStandby::restore: deployed sync count mismatch");
+  s.check_count(count, 18);
+  for (DeployedSync& sync : deployed_) {
+    const std::uint64_t state = s.u64();
+    const std::uint64_t inc = s.u64();
+    *sync.rng = Rng::from_raw(state, inc);
   }
 }
 

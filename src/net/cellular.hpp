@@ -9,6 +9,7 @@
 // rather than poking the machine directly.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,11 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/rrc.hpp"
+
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
 
 namespace simty::net {
 
@@ -55,9 +61,30 @@ class CellularStandby {
   RrcMachine& rrc() { return rrc_; }
   const RrcMachine& rrc() const { return rrc_; }
 
+  /// Resolves delivery handlers for this harness's ".cell" alarms on
+  /// restore; the rebuilt closure shares the deployed sync's rng stream.
+  /// Returns an empty handler for foreign tags.
+  alarm::DeliveryHandler handler_for(const std::string& tag);
+
+  /// Serializes the RRC machine plus each deployed sync's rng position.
+  /// restore() requires an identical deploy() to have run first (same
+  /// specs, seed, and β — the alarms themselves live in the manager).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
+
  private:
+  /// A deployed sync's behaviour closure state, kept so restore can
+  /// re-resolve handlers and resume the per-app jitter stream.
+  struct DeployedSync {
+    CellularSyncSpec spec;
+    std::shared_ptr<Rng> rng;
+  };
+
+  alarm::DeliveryHandler sync_handler(const DeployedSync& sync);
+
   alarm::AlarmManager& manager_;
   RrcMachine rrc_;
+  std::vector<DeployedSync> deployed_;
   bool finalized_ = false;
 };
 

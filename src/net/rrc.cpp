@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::net {
@@ -72,19 +73,77 @@ void RrcMachine::arm_demotion() {
     sim_.cancel(*demotion_event_);
     demotion_event_.reset();
   }
-  demotion_event_ = sim_.schedule_at(
-      busy_until_ + config_.dch_to_fach,
-      [this] {
-        enter(RrcState::kFach);
-        demotion_event_ = sim_.schedule_at(
-            sim_.now() + config_.fach_to_idle,
-            [this] {
-              demotion_event_.reset();
-              enter(RrcState::kIdle);
-            },
-            sim::EventPriority::kHardware, "rrc-fach-idle");
-      },
-      sim::EventPriority::kHardware, "rrc-dch-fach");
+  demotion_event_ =
+      sim_.schedule_at(busy_until_ + config_.dch_to_fach,
+                       [this] { demote_to_fach(); },
+                       sim::EventPriority::kHardware, "rrc-dch-fach");
+}
+
+void RrcMachine::demote_to_fach() {
+  enter(RrcState::kFach);
+  demotion_event_ =
+      sim_.schedule_at(sim_.now() + config_.fach_to_idle,
+                       [this] { demote_to_idle(); },
+                       sim::EventPriority::kHardware, "rrc-fach-idle");
+}
+
+void RrcMachine::demote_to_idle() {
+  demotion_event_.reset();
+  enter(RrcState::kIdle);
+}
+
+void RrcMachine::save(snapshot::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.i64(state_since_.us());
+  w.i64(busy_until_.us());
+  w.boolean(demotion_event_.has_value());
+  if (demotion_event_) w.u64(demotion_event_->value);
+  w.u64(idle_promotions_);
+  w.u64(fach_promotions_);
+  for (const Duration d : time_in_) w.i64(d.us());
+}
+
+void RrcMachine::restore(snapshot::SectionReader& s) {
+  const std::uint8_t state = s.u8();
+  SIMTY_CHECK_MSG(state <= static_cast<std::uint8_t>(RrcState::kDch),
+                  "RrcMachine::restore: state out of range");
+  state_ = static_cast<RrcState>(state);
+  state_since_ = TimePoint::from_us(s.i64());
+  busy_until_ = TimePoint::from_us(s.i64());
+  demotion_event_.reset();
+  if (s.boolean()) {
+    const std::uint64_t event = s.u64();
+    SIMTY_CHECK_MSG(event != 0, "RrcMachine::restore: null demotion event");
+    SIMTY_CHECK_MSG(state_ != RrcState::kIdle,
+                    "RrcMachine::restore: idle radio with a pending demotion");
+    demotion_event_ = sim::EventId{event};
+    if (state_ == RrcState::kDch) {
+      sim_.rebind(*demotion_event_, [this] { demote_to_fach(); });
+    } else {
+      sim_.rebind(*demotion_event_, [this] { demote_to_idle(); });
+    }
+  } else {
+    SIMTY_CHECK_MSG(state_ == RrcState::kIdle,
+                    "RrcMachine::restore: active radio without a demotion timer");
+  }
+  idle_promotions_ = s.u64();
+  fach_promotions_ = s.u64();
+  for (Duration& d : time_in_) d = Duration::micros(s.i64());
+  // Re-announce the current rail so a fresh listener stack starts from the
+  // restored state rather than nothing.
+  const TimePoint now = sim_.now();
+  switch (state_) {
+    case RrcState::kDch:
+      bus_.publish_component_power(now, hw::Component::kCellular, true, config_.dch);
+      break;
+    case RrcState::kFach:
+      bus_.publish_component_power(now, hw::Component::kCellular, true, config_.fach);
+      break;
+    case RrcState::kIdle:
+      bus_.publish_component_power(now, hw::Component::kCellular, false,
+                                   Power::zero());
+      break;
+  }
 }
 
 Duration RrcMachine::time_in(RrcState s) const {

@@ -20,6 +20,11 @@
 #include "hw/power_bus.hpp"
 #include "sim/simulator.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::net {
 
 /// Radio resource control states.
@@ -65,9 +70,17 @@ class RrcMachine {
   Duration time_in(RrcState s) const;
   void finalize(TimePoint now);
 
+  /// Serializes the radio state, busy window, pending demotion timer, and
+  /// counters; restore() rebinds the demotion stage matching the saved
+  /// state and re-announces the current rail on the bus.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
+
  private:
   void enter(RrcState next);
   void arm_demotion();
+  void demote_to_fach();
+  void demote_to_idle();
 
   sim::Simulator& sim_;
   RrcConfig config_;

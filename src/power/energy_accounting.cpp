@@ -1,6 +1,7 @@
 #include "power/energy_accounting.hpp"
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::power {
 
@@ -88,6 +89,49 @@ void EnergyAccountant::accumulate_component(std::size_t idx, TimePoint until) {
   const Energy e = rail.level * (until - rail.since);
   breakdown_.component_active += e;
   breakdown_.per_component[idx] += e;
+}
+
+void EnergyAccountant::save(snapshot::Writer& w) const {
+  SIMTY_CHECK_MSG(!finalized_, "EnergyAccountant::save: already finalized");
+  w.f64(breakdown_.sleep.mj());
+  w.f64(breakdown_.waking.mj());
+  w.f64(breakdown_.awake_base.mj());
+  w.f64(breakdown_.wake_transitions.mj());
+  w.f64(breakdown_.component_active.mj());
+  w.f64(breakdown_.component_activation.mj());
+  for (const Energy e : breakdown_.per_component) w.f64(e.mj());
+  w.u8(static_cast<std::uint8_t>(device_state_));
+  w.f64(device_level_.mw());
+  w.i64(device_since_.us());
+  w.boolean(device_seen_);
+  for (const ComponentRail& rail : rails_) {
+    w.boolean(rail.on);
+    w.f64(rail.level.mw());
+    w.i64(rail.since.us());
+  }
+}
+
+void EnergyAccountant::restore(snapshot::SectionReader& s) {
+  breakdown_.sleep = Energy::millijoules(s.f64());
+  breakdown_.waking = Energy::millijoules(s.f64());
+  breakdown_.awake_base = Energy::millijoules(s.f64());
+  breakdown_.wake_transitions = Energy::millijoules(s.f64());
+  breakdown_.component_active = Energy::millijoules(s.f64());
+  breakdown_.component_activation = Energy::millijoules(s.f64());
+  for (Energy& e : breakdown_.per_component) e = Energy::millijoules(s.f64());
+  const std::uint8_t state = s.u8();
+  SIMTY_CHECK_MSG(state <= static_cast<std::uint8_t>(hw::DeviceState::kAwake),
+                  "EnergyAccountant::restore: device state out of range");
+  device_state_ = static_cast<hw::DeviceState>(state);
+  device_level_ = Power::milliwatts(s.f64());
+  device_since_ = TimePoint::from_us(s.i64());
+  device_seen_ = s.boolean();
+  for (ComponentRail& rail : rails_) {
+    rail.on = s.boolean();
+    rail.level = Power::milliwatts(s.f64());
+    rail.since = TimePoint::from_us(s.i64());
+  }
+  finalized_ = false;
 }
 
 }  // namespace simty::power

@@ -10,6 +10,11 @@
 #include "hw/component.hpp"
 #include "hw/power_bus.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::power {
 
 /// Per-category integrated energy. "Awake" aggregates everything except the
@@ -49,6 +54,12 @@ class EnergyAccountant : public hw::PowerListener {
 
   /// Average power over [origin, finalize time]; finalize() must have run.
   Power average_power() const;
+
+  /// Serializes the breakdown and all open integration state (device rail,
+  /// component rails). Restoring overwrites whatever ctor-time bus
+  /// publishes already accumulated on the fresh stack.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
  private:
   void accumulate_device(TimePoint until);

@@ -8,6 +8,7 @@
 
 #include "common/annotations.hpp"
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::sim {
 
@@ -385,6 +386,133 @@ bool EventQueue::sync_staged() {
     staged_next_ = 0;
   }
   return false;
+}
+
+void EventQueue::save(snapshot::Writer& w) const {
+  // Heap keys verbatim (minus the kRoot alignment padding): the restored
+  // array is byte-for-byte the live one, so the resumed pop order is
+  // trivially the straight run's.
+  w.u64(keys_.size() - kRoot);
+  for (std::size_t i = kRoot; i < keys_.size(); ++i) {
+    w.u64(keys_[i].when_biased);
+    w.u64(keys_[i].order);
+  }
+  w.u64(callbacks_.size());
+  for (std::size_t i = 0; i < callbacks_.size(); ++i) {
+    w.str(meta_[i].label);
+    w.u32(meta_[i].generation);
+    w.u32(meta_[i].next_free);
+  }
+  w.u64(armed_words_.size());
+  for (std::size_t i = 0; i < armed_words_.size(); ++i) w.u64(armed_words_[i]);
+  for (std::size_t i = 0; i < staged_words_.size(); ++i) w.u64(staged_words_[i]);
+  w.u64(staged_.size());
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    w.u64(staged_[i].key.when_biased);
+    w.u64(staged_[i].key.order);
+    w.u32(staged_[i].slot);
+  }
+  w.u64(staged_next_);
+  w.u32(free_head_);
+  w.u64(next_seq_);
+  w.u64(live_);
+}
+
+void EventQueue::restore(snapshot::SectionReader& s) {
+  // Wholesale replacement: anything the owner scheduled during (re)construction
+  // is discarded along with its slots.
+  keys_.clear();
+  keys_.resize(kRoot);
+  callbacks_.clear();
+  meta_.clear();
+  armed_words_.clear();
+  staged_words_.clear();
+  staged_.clear();
+
+  const std::uint64_t heap_n = s.u64();
+  s.check_count(heap_n, 2 * 9);  // two tagged u64 per key
+  for (std::uint64_t i = 0; i < heap_n; ++i) {
+    const std::uint64_t when_biased = s.u64();
+    const std::uint64_t order = s.u64();
+    keys_.push_back(Key{when_biased, order});
+  }
+  const std::uint64_t slots = s.u64();
+  s.check_count(slots, 9 + 2 * 5);  // str tag+len + two tagged u32 per slot
+  SIMTY_CHECK_MSG(slots < kNilSlot, "EventQueue::restore: slot count out of range");
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    // Cold path: restore runs once per resume, never per event.
+    const std::string label = s.str();  // simty-lint: allow(string-label)
+    const std::uint32_t generation = s.u32();
+    const std::uint32_t next_free = s.u32();
+    SIMTY_CHECK_MSG(next_free == kNilSlot || next_free < slots,
+                    "EventQueue::restore: free-list link out of range");
+    callbacks_.emplace_back();
+    meta_.emplace_back();
+    meta_[i].label = label.empty() ? "" : intern_label(label);
+    meta_[i].generation = generation;
+    meta_[i].next_free = next_free;
+  }
+  const std::uint64_t words = s.u64();
+  SIMTY_CHECK_MSG(words == (slots + 63) / 64,
+                  "EventQueue::restore: bit-word count mismatch");
+  s.check_count(words, 2 * 9);
+  for (std::uint64_t i = 0; i < words; ++i) armed_words_.push_back(s.u64());
+  for (std::uint64_t i = 0; i < words; ++i) staged_words_.push_back(s.u64());
+  const std::uint64_t staged_n = s.u64();
+  s.check_count(staged_n, 2 * 9 + 5);
+  for (std::uint64_t i = 0; i < staged_n; ++i) {
+    const std::uint64_t when_biased = s.u64();
+    const std::uint64_t order = s.u64();
+    const std::uint32_t slot = s.u32();
+    SIMTY_CHECK_MSG(slot == kNilSlot || slot < slots,
+                    "EventQueue::restore: staged slot out of range");
+    staged_.push_back(Staged{Key{when_biased, order}, slot});
+  }
+  staged_next_ = static_cast<std::size_t>(s.u64());
+  SIMTY_CHECK_MSG(staged_next_ <= staged_.size(),
+                  "EventQueue::restore: staged cursor out of range");
+  free_head_ = s.u32();
+  SIMTY_CHECK_MSG(free_head_ == kNilSlot || free_head_ < slots,
+                  "EventQueue::restore: free head out of range");
+  next_seq_ = s.u64();
+  SIMTY_CHECK_MSG(next_seq_ >= 1 && next_seq_ <= kMaxSeq + 1,
+                  "EventQueue::restore: sequence counter out of range");
+  live_ = static_cast<std::size_t>(s.u64());
+
+  // Cross-checks: every heap/staged slot reference must be in range, the
+  // free list must terminate, and the armed population must equal live_ —
+  // a corrupted snapshot fails here, not as UB later.
+  for (std::size_t i = kRoot; i < keys_.size(); ++i) {
+    SIMTY_CHECK_MSG(key_slot(keys_[i]) < slots,
+                    "EventQueue::restore: heap key slot out of range");
+  }
+  std::size_t free_len = 0;
+  for (std::uint32_t f = free_head_; f != kNilSlot; f = meta_[f].next_free) {
+    SIMTY_CHECK_MSG(++free_len <= slots, "EventQueue::restore: free-list cycle");
+  }
+  std::size_t armed_count = 0;
+  for (const std::uint64_t word : armed_words_) {
+    armed_count += static_cast<std::size_t>(__builtin_popcountll(word));
+  }
+  SIMTY_CHECK_MSG(armed_count == live_,
+                  "EventQueue::restore: live count does not match armed bits");
+}
+
+void EventQueue::rebind(EventId id, EventFn cb) {
+  SIMTY_CHECK_MSG(static_cast<bool>(cb), "EventQueue::rebind: empty callback");
+  const auto idx = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  SIMTY_CHECK_MSG(idx < callbacks_.size() && armed(idx) && meta_[idx].generation == gen,
+                  "EventQueue::rebind: id does not name a restored live event");
+  SIMTY_CHECK_MSG(!callbacks_[idx], "EventQueue::rebind: event already bound");
+  callbacks_[idx] = std::move(cb);
+}
+
+bool EventQueue::fully_bound() const {
+  for (std::uint32_t i = 0; i < callbacks_.size(); ++i) {
+    if (armed(i) && !callbacks_[i]) return false;
+  }
+  return true;
 }
 
 EventQueue::Fired EventQueue::pop_root() {

@@ -43,6 +43,11 @@
 #include "common/time.hpp"
 #include "sim/event_fn.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::sim {
 
 /// Handle to a scheduled event; valid until the event fires or is cancelled.
@@ -127,6 +132,26 @@ class EventQueue {
   /// Slab high-water mark (slots ever allocated); tombstoned slots are
   /// recycled, so this stays near the peak live count. Exposed for tests.
   std::size_t slab_slots() const { return callbacks_.size(); }
+
+  /// Serializes the queue's complete structure — heap keys verbatim, slab
+  /// generations/labels/free-list, armed/staged bit words, the staged
+  /// buffer, and the sequence counter — into the writer's open section.
+  /// Callbacks cannot be serialized; after restore() every armed event is
+  /// empty until the owner rebind()s it (see fully_bound()).
+  void save(snapshot::Writer& w) const;
+
+  /// Restores the exact structure written by save(), replacing the queue's
+  /// current contents wholesale. All lengths, slot references, and link
+  /// fields are bounds-checked (SIMTY_CHECK) before allocation or use.
+  void restore(snapshot::SectionReader& s);
+
+  /// Re-attaches the callback of a restored armed event. The id must name a
+  /// live restored event whose callback is still empty.
+  void rebind(EventId id, EventFn cb);
+
+  /// True when every armed (live) slot holds a non-empty callback — the
+  /// post-restore coverage check run before a resumed simulation may step.
+  bool fully_bound() const;
 
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;

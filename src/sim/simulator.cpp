@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace simty::sim {
@@ -30,6 +31,18 @@ void Simulator::run_until(TimePoint until) {
 void Simulator::run_all() {
   while (step()) {
   }
+}
+
+void Simulator::save(snapshot::Writer& w) const {
+  w.i64(now_.us());
+  w.u64(events_processed_);
+  queue_.save(w);
+}
+
+void Simulator::restore(snapshot::SectionReader& s) {
+  now_ = TimePoint::from_us(s.i64());
+  events_processed_ = s.u64();
+  queue_.restore(s);
 }
 
 bool Simulator::step() {

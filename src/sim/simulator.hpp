@@ -58,6 +58,20 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Serializes the clock, event counter, and the complete queue structure
+  /// into the writer's open section (see EventQueue::save — callbacks are
+  /// not serialized and must be rebind()-ed after restore()).
+  void save(snapshot::Writer& w) const;
+
+  /// Restores state written by save(), replacing any queue contents.
+  void restore(snapshot::SectionReader& s);
+
+  /// Re-attaches the callback of a restored armed event.
+  void rebind(EventId id, EventFn cb) { queue_.rebind(id, std::move(cb)); }
+
+  /// True when every restored live event has been rebound.
+  bool fully_bound() const { return queue_.fully_bound(); }
+
  private:
   TimePoint now_ = TimePoint::origin();
   EventQueue queue_;

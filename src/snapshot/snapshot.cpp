@@ -1,0 +1,434 @@
+#include "snapshot/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace simty::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'T', 'Y', 'S', 'N', 'P', '1'};
+
+/// Longest name/bytes/str length the reader will honor even when the
+/// buffer is large; a secondary ceiling so a hostile header cannot ask for
+/// multi-gigabyte strings backed by a sparse mmap.
+constexpr std::uint64_t kMaxBlob = 1ull << 31;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+}  // namespace
+
+const char* to_string(FieldType t) {
+  switch (t) {
+    case FieldType::kU8: return "u8";
+    case FieldType::kU32: return "u32";
+    case FieldType::kU64: return "u64";
+    case FieldType::kI64: return "i64";
+    case FieldType::kF64: return "f64";
+    case FieldType::kBytes: return "bytes";
+    case FieldType::kStr: return "str";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void Writer::begin_section(std::string_view name, std::uint32_t version) {
+  SIMTY_CHECK_MSG(!open_, "snapshot::Writer: begin_section inside a section");
+  SIMTY_CHECK_MSG(!name.empty(), "snapshot::Writer: empty section name");
+  for (const Section& s : sections_) {
+    SIMTY_CHECK_MSG(s.name != name, "snapshot::Writer: duplicate section name");
+  }
+  sections_.push_back(Section{std::string(name), version, {}});
+  open_ = true;
+}
+
+void Writer::end_section() {
+  SIMTY_CHECK_MSG(open_, "snapshot::Writer: end_section without begin_section");
+  open_ = false;
+}
+
+void Writer::require_open() const {
+  SIMTY_CHECK_MSG(open_, "snapshot::Writer: field written outside a section");
+}
+
+void Writer::u8(std::uint8_t v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kU8));
+  p.push_back(static_cast<char>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kU32));
+  append_u32(p, v);
+}
+
+void Writer::u64(std::uint64_t v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kU64));
+  append_u64(p, v);
+}
+
+void Writer::i64(std::int64_t v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kI64));
+  append_u64(p, static_cast<std::uint64_t>(v));
+}
+
+void Writer::f64(double v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kF64));
+  append_u64(p, std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::str(std::string_view v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kStr));
+  append_u64(p, v.size());
+  p.append(v);
+}
+
+void Writer::bytes(std::string_view v) {
+  require_open();
+  std::string& p = sections_.back().payload;
+  p.push_back(static_cast<char>(FieldType::kBytes));
+  append_u64(p, v.size());
+  p.append(v);
+}
+
+std::string Writer::finish() {
+  SIMTY_CHECK_MSG(!open_, "snapshot::Writer: finish with an open section");
+  std::string out(kMagic, sizeof(kMagic));
+  append_u32(out, kFormatVersion);
+  append_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    append_u32(out, static_cast<std::uint32_t>(s.name.size()));
+    out += s.name;
+    append_u32(out, s.version);
+    append_u64(out, s.payload.size());
+    out += s.payload;
+  }
+  sections_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SectionReader
+
+std::uint64_t SectionReader::read_le(std::size_t n) {
+  SIMTY_CHECK_MSG(remaining() >= n, "snapshot: truncated section payload");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(payload_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += n;
+  return v;
+}
+
+std::uint8_t SectionReader::peek_tag() const {
+  SIMTY_CHECK_MSG(remaining() >= 1, "snapshot: truncated section payload");
+  return static_cast<std::uint8_t>(payload_[pos_]);
+}
+
+std::uint8_t SectionReader::take_tag(FieldType want) {
+  SIMTY_CHECK_MSG(remaining() >= 1, "snapshot: truncated section payload");
+  const auto tag = static_cast<std::uint8_t>(payload_[pos_]);
+  SIMTY_CHECK_MSG(tag == static_cast<std::uint8_t>(want),
+                  "snapshot: field type mismatch (schema skew or corruption)");
+  ++pos_;
+  return tag;
+}
+
+std::uint8_t SectionReader::u8() {
+  take_tag(FieldType::kU8);
+  return static_cast<std::uint8_t>(read_le(1));
+}
+
+std::uint32_t SectionReader::u32() {
+  take_tag(FieldType::kU32);
+  return static_cast<std::uint32_t>(read_le(4));
+}
+
+std::uint64_t SectionReader::u64() {
+  take_tag(FieldType::kU64);
+  return read_le(8);
+}
+
+std::int64_t SectionReader::i64() {
+  take_tag(FieldType::kI64);
+  return static_cast<std::int64_t>(read_le(8));
+}
+
+double SectionReader::f64() {
+  take_tag(FieldType::kF64);
+  return std::bit_cast<double>(read_le(8));
+}
+
+std::string SectionReader::str() {
+  take_tag(FieldType::kStr);
+  const std::uint64_t n = read_le(8);
+  SIMTY_CHECK_MSG(n <= remaining() && n < kMaxBlob, "snapshot: string overruns payload");
+  std::string out(payload_.substr(pos_, static_cast<std::size_t>(n)));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::string SectionReader::bytes() {
+  take_tag(FieldType::kBytes);
+  const std::uint64_t n = read_le(8);
+  SIMTY_CHECK_MSG(n <= remaining() && n < kMaxBlob, "snapshot: bytes overrun payload");
+  std::string out(payload_.substr(pos_, static_cast<std::size_t>(n)));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+void SectionReader::check_count(std::uint64_t n, std::size_t min_bytes_each) const {
+  // Every field costs at least its tag byte, so `min_bytes_each` is >= 1
+  // and the division cannot admit an absurd count on a short payload.
+  SIMTY_CHECK_MSG(min_bytes_each > 0, "snapshot: check_count needs a positive item size");
+  SIMTY_CHECK_MSG(n <= remaining() / min_bytes_each,
+                  "snapshot: item count overruns payload");
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Reader::Reader(std::string bytes) : bytes_(std::move(bytes)) {
+  std::size_t pos = 0;
+  const auto take = [&](std::size_t n) -> std::string_view {
+    SIMTY_CHECK_MSG(bytes_.size() - pos >= n, "snapshot: truncated container");
+    const std::string_view v(bytes_.data() + pos, n);
+    pos += n;
+    return v;
+  };
+  const auto take_u32 = [&]() -> std::uint32_t {
+    const std::string_view v = take(4);
+    std::uint32_t out = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(static_cast<unsigned char>(v[i])) << (8 * i);
+    }
+    return out;
+  };
+  const auto take_u64 = [&]() -> std::uint64_t {
+    const std::string_view v = take(8);
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(static_cast<unsigned char>(v[i])) << (8 * i);
+    }
+    return out;
+  };
+
+  SIMTY_CHECK_MSG(take(sizeof(kMagic)) == std::string_view(kMagic, sizeof(kMagic)),
+                  "snapshot: bad magic (not a SMTYSNP1 snapshot)");
+  const std::uint32_t version = take_u32();
+  SIMTY_CHECK_MSG(version == kFormatVersion, "snapshot: unsupported format version");
+  const std::uint32_t count = take_u32();
+  // Each section costs at least name-len + version + payload-len = 16 bytes.
+  SIMTY_CHECK_MSG(count <= (bytes_.size() - pos) / 16,
+                  "snapshot: section count overruns container");
+  sections_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = take_u32();
+    SIMTY_CHECK_MSG(name_len > 0 && name_len <= bytes_.size() - pos,
+                    "snapshot: section name overruns container");
+    Entry e;
+    e.name = take(name_len);
+    e.version = take_u32();
+    const std::uint64_t payload_len = take_u64();
+    SIMTY_CHECK_MSG(payload_len <= bytes_.size() - pos && payload_len < kMaxBlob,
+                    "snapshot: section payload overruns container");
+    e.payload = take(static_cast<std::size_t>(payload_len));
+    for (const Entry& prev : sections_) {
+      SIMTY_CHECK_MSG(prev.name != e.name, "snapshot: duplicate section name");
+    }
+    sections_.push_back(e);
+  }
+  SIMTY_CHECK_MSG(pos == bytes_.size(), "snapshot: trailing garbage after last section");
+}
+
+bool Reader::has_section(std::string_view name) const {
+  for (const Entry& e : sections_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+SectionReader Reader::section(std::string_view name, std::uint32_t version) const {
+  for (const Entry& e : sections_) {
+    if (e.name != name) continue;
+    SIMTY_CHECK_MSG(e.version == version,
+                    "snapshot: section version skew (snapshot from a different build)");
+    return SectionReader(e.name, e.version, e.payload);
+  }
+  SIMTY_CHECK_MSG(false, "snapshot: missing required section");
+  __builtin_unreachable();
+}
+
+std::string_view Reader::section_name(std::size_t i) const {
+  SIMTY_CHECK_MSG(i < sections_.size(), "snapshot: section index out of range");
+  return sections_[i].name;
+}
+
+SectionReader Reader::section_at(std::size_t i) const {
+  SIMTY_CHECK_MSG(i < sections_.size(), "snapshot: section index out of range");
+  return SectionReader(sections_[i].name, sections_[i].version, sections_[i].payload);
+}
+
+// ---------------------------------------------------------------------------
+// Generic decode + diff
+
+namespace {
+
+std::string printable(const std::string& s) {
+  // Short printable strings verbatim; everything else length + FNV-1a so
+  // the diff stays line-sized on callback-free but large blobs.
+  bool clean = s.size() <= 48;
+  for (const char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20 || static_cast<unsigned char>(c) > 0x7e) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) return "'" + s + "'";
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return str_format("[%zu bytes, fnv 0x%016llx]", s.size(),
+                    static_cast<unsigned long long>(h));
+}
+
+}  // namespace
+
+DecodedSnapshot decode_snapshot(const std::string& bytes) {
+  const Reader reader(bytes);
+  DecodedSnapshot out;
+  out.sections.reserve(reader.section_count());
+  for (std::size_t i = 0; i < reader.section_count(); ++i) {
+    SectionReader s = reader.section_at(i);
+    DecodedSection d;
+    d.name = std::string(s.name());
+    d.version = s.version();
+    while (!s.at_end()) {
+      const auto tag = static_cast<FieldType>(s.peek_tag());
+      DecodedField f;
+      f.type = tag;
+      switch (tag) {
+        case FieldType::kU8: f.repr = str_format("%u", s.u8()); break;
+        case FieldType::kU32: f.repr = str_format("%u", s.u32()); break;
+        case FieldType::kU64:
+          f.repr = str_format("%llu", static_cast<unsigned long long>(s.u64()));
+          break;
+        case FieldType::kI64:
+          f.repr = str_format("%lld", static_cast<long long>(s.i64()));
+          break;
+        case FieldType::kF64: {
+          const double v = s.f64();
+          f.repr = str_format("%.17g (bits 0x%016llx)", v,
+                              static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+          break;
+        }
+        case FieldType::kStr: f.repr = printable(s.str()); break;
+        case FieldType::kBytes: f.repr = printable(s.bytes()); break;
+        default:
+          SIMTY_CHECK_MSG(false, "snapshot: unknown field tag");
+      }
+      d.fields.push_back(std::move(f));
+    }
+    out.sections.push_back(std::move(d));
+  }
+  return out;
+}
+
+SnapshotDiff diff_snapshots(const DecodedSnapshot& a, const DecodedSnapshot& b) {
+  const std::size_t common_sections = std::min(a.sections.size(), b.sections.size());
+  for (std::size_t i = 0; i < common_sections; ++i) {
+    const DecodedSection& sa = a.sections[i];
+    const DecodedSection& sb = b.sections[i];
+    if (sa.name != sb.name) {
+      return {false, str_format("section #%zu differs: '%s' vs '%s'", i,
+                                sa.name.c_str(), sb.name.c_str())};
+    }
+    if (sa.version != sb.version) {
+      return {false, str_format("section '%s' version differs: %u vs %u",
+                                sa.name.c_str(), sa.version, sb.version)};
+    }
+    const std::size_t common_fields = std::min(sa.fields.size(), sb.fields.size());
+    for (std::size_t k = 0; k < common_fields; ++k) {
+      const DecodedField& fa = sa.fields[k];
+      const DecodedField& fb = sb.fields[k];
+      if (fa.type != fb.type) {
+        return {false,
+                str_format("section '%s' field #%zu type differs: %s vs %s",
+                           sa.name.c_str(), k, to_string(fa.type), to_string(fb.type))};
+      }
+      if (fa.repr != fb.repr) {
+        return {false,
+                str_format("section '%s' field #%zu (%s): %s vs %s", sa.name.c_str(),
+                           k, to_string(fa.type), fa.repr.c_str(), fb.repr.c_str())};
+      }
+    }
+    if (sa.fields.size() != sb.fields.size()) {
+      return {false,
+              str_format("section '%s' field counts differ: %zu vs %zu",
+                         sa.name.c_str(), sa.fields.size(), sb.fields.size())};
+    }
+  }
+  if (a.sections.size() != b.sections.size()) {
+    return {false, str_format("section counts differ: %zu vs %zu", a.sections.size(),
+                              b.sections.size())};
+  }
+  return {true, "snapshots identical"};
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("snapshot: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  if (f.bad()) throw std::runtime_error("snapshot: read failed for " + path);
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("snapshot: cannot open " + path);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  if (!f) throw std::runtime_error("snapshot: write failed for " + path);
+}
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  write_file(tmp, bytes);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: rename failed for " + path);
+  }
+}
+
+}  // namespace simty::snapshot

@@ -1,0 +1,198 @@
+#pragma once
+// Versioned little-endian snapshot container (resumable run state).
+//
+// Same byte discipline as the SMTYTRC1 trace format (trace/tracer.cpp):
+// every integer is little-endian regardless of host order, doubles travel
+// as raw IEEE-754 bit patterns (bit-exact, no text round-trip), and the
+// reader bounds-checks every length before it allocates or advances.
+//
+// Layout:
+//   magic "SMTYSNP1"
+//   u32 format version (kFormatVersion)
+//   u32 section count, then per section:
+//     u32 name length + name bytes
+//     u32 section version (bumped when a component's field list changes)
+//     u64 payload length + payload bytes
+//
+// A section payload is a flat sequence of *tagged* fields: one FieldType
+// byte, then the value (u8/u32/u64/i64/f64 fixed-size; bytes/str carry a
+// u64 length). The tags buy two things: restore code self-checks against
+// schema skew (reading a u32 where a u64 was written fails loudly instead
+// of desynchronizing the stream), and tools/snapshot_diff can walk any
+// snapshot generically and name the first divergent section/field without
+// knowing component schemas.
+//
+// Malformed input — bad magic, truncated section, version skew, a length
+// that overruns the buffer, an unknown tag — is rejected with SIMTY_CHECK
+// (std::logic_error), never undefined behavior; tests/snapshot feeds this
+// reader randomized corruptions under the ASan/UBSan CI job.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simty::snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Tag byte preceding every field in a section payload.
+enum class FieldType : std::uint8_t {
+  kU8 = 1,
+  kU32 = 2,
+  kU64 = 3,
+  kI64 = 4,
+  kF64 = 5,  // raw IEEE-754 bit pattern, little-endian
+  kBytes = 6,
+  kStr = 7,
+};
+
+/// Serializes sections of tagged fields; finish() yields the container.
+class Writer {
+ public:
+  /// Opens a section; fields written next belong to it. Section names must
+  /// be unique within a snapshot and are matched exactly by the reader.
+  void begin_section(std::string_view name, std::uint32_t version);
+  void end_section();
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view v);
+  void bytes(std::string_view v);
+
+  /// Assembles magic + header + all sections. The writer is spent after.
+  std::string finish();
+
+ private:
+  struct Section {
+    std::string name;
+    std::uint32_t version = 0;
+    std::string payload;
+  };
+  void require_open() const;
+  std::vector<Section> sections_;
+  bool open_ = false;
+};
+
+/// Bounds-checked reader over one section's payload. Every accessor
+/// verifies the tag byte before consuming the value.
+class SectionReader {
+ public:
+  SectionReader(std::string_view name, std::uint32_t version,
+                std::string_view payload)
+      : name_(name), version_(version), payload_(payload) {}
+
+  std::string_view name() const { return name_; }
+  std::uint32_t version() const { return version_; }
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  std::string bytes();
+
+  /// Guards a count read from the payload before it sizes an allocation:
+  /// `n` items of at least `min_bytes_each` serialized bytes must still fit
+  /// in the unread payload, so a hostile count cannot trigger a huge
+  /// reserve before the truncation is noticed.
+  void check_count(std::uint64_t n, std::size_t min_bytes_each) const;
+
+  std::size_t remaining() const { return payload_.size() - pos_; }
+  bool at_end() const { return pos_ == payload_.size(); }
+
+  /// Next field's tag byte without consuming it (generic decode walks).
+  std::uint8_t peek_tag() const;
+
+ private:
+  std::uint8_t take_tag(FieldType want);
+  std::uint64_t read_le(std::size_t n);
+  std::string_view name_;
+  std::uint32_t version_ = 0;
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses the container header and section table (validating magic, format
+/// version, and every length against the buffer). Section payloads are not
+/// interpreted until a SectionReader walks them.
+class Reader {
+ public:
+  /// Takes ownership of the raw bytes; throws via SIMTY_CHECK on a
+  /// malformed container.
+  explicit Reader(std::string bytes);
+
+  bool has_section(std::string_view name) const;
+
+  /// Opens section `name`, checking it exists and its recorded version is
+  /// exactly `version` (schema changes must bump the component's version).
+  SectionReader section(std::string_view name, std::uint32_t version) const;
+
+  std::size_t section_count() const { return sections_.size(); }
+  /// Section name by container order (for generic walks).
+  std::string_view section_name(std::size_t i) const;
+  /// Opens section `i` without a version check (diff/decode tooling).
+  SectionReader section_at(std::size_t i) const;
+
+ private:
+  struct Entry {
+    std::string_view name;  // into bytes_
+    std::uint32_t version = 0;
+    std::string_view payload;  // into bytes_
+  };
+  std::string bytes_;
+  std::vector<Entry> sections_;
+};
+
+// ---------------------------------------------------------------------------
+// Generic decode + diff (tools/snapshot_diff), mirroring trace_diff
+// semantics: equal -> exit 0, first divergence named -> exit 1, malformed
+// input -> exception -> exit 2.
+
+struct DecodedField {
+  FieldType type = FieldType::kU8;
+  std::string repr;  // deterministic text rendering of the value
+};
+
+struct DecodedSection {
+  std::string name;
+  std::uint32_t version = 0;
+  std::vector<DecodedField> fields;
+};
+
+struct DecodedSnapshot {
+  std::vector<DecodedSection> sections;
+};
+
+/// Fully decodes a snapshot, validating every field tag and length.
+DecodedSnapshot decode_snapshot(const std::string& bytes);
+
+struct SnapshotDiff {
+  bool equal = false;
+  std::string summary;  // first divergence, human-readable
+};
+
+/// Compares two decoded snapshots; names the first divergent
+/// section/field ("section 'queue' field #12 (u64): 42 vs 43").
+SnapshotDiff diff_snapshots(const DecodedSnapshot& a, const DecodedSnapshot& b);
+
+/// Field-type name for diagnostics ("u64", "str", ...).
+const char* to_string(FieldType t);
+
+/// Reads a whole file; throws std::runtime_error on I/O failure.
+std::string read_file(const std::string& path);
+
+/// Writes bytes to `path`; throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::string& bytes);
+
+/// Writes bytes to `path` via a same-directory temporary + rename, so a
+/// crash mid-write never leaves a torn file (fleet shard checkpoints).
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+}  // namespace simty::snapshot

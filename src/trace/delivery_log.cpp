@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::trace {
 
@@ -198,6 +199,62 @@ DeliveryLog DeliveryLog::load(const std::string& path) {
   std::ostringstream buf;
   buf << f.rdbuf();
   return from_csv(buf.str());
+}
+
+void DeliveryLog::save(snapshot::Writer& w) const {
+  w.u64(records_.size());
+  for (const alarm::DeliveryRecord& r : records_) {
+    w.u64(r.id.value);
+    w.str(r.tag);
+    w.u32(r.app.value);
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.u8(static_cast<std::uint8_t>(r.mode));
+    w.i64(r.repeat_interval.us());
+    w.i64(r.nominal.us());
+    w.i64(r.delivered.us());
+    w.i64(r.window.start().us());
+    w.i64(r.window.end().us());
+    w.boolean(r.was_perceptible);
+    w.u32(r.hardware_used.bits());
+    w.i64(r.hold.us());
+    w.u64(r.batch_size);
+  }
+}
+
+void DeliveryLog::restore(snapshot::SectionReader& s) {
+  records_.clear();
+  const std::uint64_t count = s.u64();
+  // Minimum wire size of one record: u64(9) + str(9) + u32(5) + 2 u8(4) +
+  // 5 i64(45) + bool(2) + u32(5) + i64(9) + u64(9).
+  s.check_count(count, 97);
+  records_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    alarm::DeliveryRecord r;
+    r.id = alarm::AlarmId{s.u64()};
+    r.tag = s.str();
+    r.app = alarm::AppId{s.u32()};
+    const std::uint8_t kind = s.u8();
+    SIMTY_CHECK_MSG(kind <= static_cast<std::uint8_t>(alarm::AlarmKind::kNonWakeup),
+                    "DeliveryLog::restore: alarm kind out of range");
+    r.kind = static_cast<alarm::AlarmKind>(kind);
+    const std::uint8_t mode = s.u8();
+    SIMTY_CHECK_MSG(mode <= static_cast<std::uint8_t>(alarm::RepeatMode::kDynamic),
+                    "DeliveryLog::restore: repeat mode out of range");
+    r.mode = static_cast<alarm::RepeatMode>(mode);
+    r.repeat_interval = Duration::micros(s.i64());
+    r.nominal = TimePoint::from_us(s.i64());
+    r.delivered = TimePoint::from_us(s.i64());
+    const TimePoint window_start = TimePoint::from_us(s.i64());
+    const TimePoint window_end = TimePoint::from_us(s.i64());
+    SIMTY_CHECK_MSG(window_end >= window_start,
+                    "DeliveryLog::restore: inverted delivery window");
+    r.window = TimeInterval{window_start, window_end};
+    r.was_perceptible = s.boolean();
+    r.hardware_used = hw::ComponentSet::from_bits(s.u32());
+    r.hold = Duration::micros(s.i64());
+    r.batch_size = static_cast<std::size_t>(s.u64());
+    records_.push_back(std::move(r));
+  }
 }
 
 apps::AppTrace DeliveryLog::app_trace(const std::string& tag) const {

@@ -12,6 +12,11 @@
 #include "apps/trace_replay.hpp"
 #include "apps/workload.hpp"
 
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
+
 namespace simty::trace {
 
 /// In-memory delivery trace with CSV (de)serialization.
@@ -33,6 +38,11 @@ class DeliveryLog {
   /// File convenience wrappers.
   void save(const std::string& path) const;
   static DeliveryLog load(const std::string& path);
+
+  /// Binary snapshot of every record; restore() replaces the held records,
+  /// so a resumed run's CSV export is byte-identical to a straight run's.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
 
   /// Extracts the per-delivery (hardware, hold) behaviour of one alarm tag
   /// as an AppTrace, ready to drive an ImitatedApp — the paper's

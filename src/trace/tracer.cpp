@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace simty::trace {
 
@@ -299,6 +300,75 @@ std::string Tracer::binary() const {
     append_i64(out, e.arg);
   }
   return out;
+}
+
+void Tracer::save(snapshot::Writer& w) const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  // Same content-dedup-in-first-appearance-order table as binary(), so a
+  // save/restore round trip re-exports byte-identical artifacts.
+  std::map<std::string, std::uint32_t> ids;
+  std::vector<const char*> table;
+  std::vector<std::uint32_t> event_label(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto [it, inserted] =
+        ids.emplace(events[i].label, static_cast<std::uint32_t>(table.size()));
+    if (inserted) table.push_back(events[i].label);
+    event_label[i] = it->second;
+  }
+
+  w.u64(table.size());
+  for (const char* label : table) w.str(label);
+  w.u64(dropped_);
+  w.i64(open_spans_);
+  w.u64(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    w.i64(e.t_us);
+    w.u32(event_label[i]);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u8(static_cast<std::uint8_t>(e.category));
+    w.i64(e.arg);
+  }
+}
+
+void Tracer::restore(snapshot::SectionReader& s) {
+  clear();
+  restored_labels_.clear();
+  const std::uint64_t label_count = s.u64();
+  s.check_count(label_count, 9);
+  restored_labels_.reserve(label_count);
+  for (std::uint64_t i = 0; i < label_count; ++i) {
+    restored_labels_.push_back(std::make_unique<std::string>(s.str()));
+  }
+  const std::uint64_t dropped = s.u64();
+  const std::int64_t open_spans = s.i64();
+  SIMTY_CHECK_MSG(open_spans >= 0, "Tracer::restore: negative open span count");
+  const std::uint64_t event_count = s.u64();
+  // Per event: i64(9) + u32(5) + 2 u8(4) + i64(9).
+  s.check_count(event_count, 27);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    TraceEvent e;
+    e.t_us = s.i64();
+    const std::uint32_t label = s.u32();
+    SIMTY_CHECK_MSG(label < restored_labels_.size(),
+                    "Tracer::restore: label index out of range");
+    e.label = restored_labels_[label]->c_str();
+    const std::uint8_t kind = s.u8();
+    const std::uint8_t category = s.u8();
+    SIMTY_CHECK_MSG(kind <= static_cast<std::uint8_t>(TraceEventKind::kCounter),
+                    "Tracer::restore: bad event kind");
+    SIMTY_CHECK_MSG(category <= static_cast<std::uint8_t>(TraceCategory::kExp),
+                    "Tracer::restore: bad event category");
+    e.kind = static_cast<TraceEventKind>(kind);
+    e.category = static_cast<TraceCategory>(category);
+    e.arg = s.i64();
+    record(e);
+  }
+  // record() in ring mode counts wraparound drops; the saved counters are
+  // authoritative for the restored state.
+  dropped_ = dropped;
+  open_spans_ = open_spans;
 }
 
 void Tracer::save_chrome_json(const std::string& path) const {

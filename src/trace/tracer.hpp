@@ -27,12 +27,18 @@
 //     without any cross-thread ordering leaking into the trace.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/arena.hpp"
 #include "common/time.hpp"
+
+namespace simty::snapshot {
+class Writer;
+class SectionReader;
+}  // namespace simty::snapshot
 
 namespace simty::trace {
 
@@ -112,6 +118,13 @@ class Tracer {
   void save_chrome_json(const std::string& path) const;
   void save_binary(const std::string& path) const;
 
+  /// Serializes the held events (labels deduplicated by content, like
+  /// binary()) plus the drop and open-span counters. restore() replaces
+  /// this tracer's contents; restored labels are owned by the tracer, so
+  /// subsequent exports are byte-identical to the saved run's.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::SectionReader& s);
+
  private:
   void record(const TraceEvent& e);
 
@@ -128,6 +141,9 @@ class Tracer {
   bool ring_full_ = false;
   std::uint64_t dropped_ = 0;
   std::int64_t open_spans_ = 0;
+  // Labels brought in by restore(); unique_ptr keeps the c_str() addresses
+  // stable across vector growth, which TraceEvent::label relies on.
+  std::vector<std::unique_ptr<std::string>> restored_labels_;
 };
 
 /// The tracer installed for the current thread (nullptr = tracing off).

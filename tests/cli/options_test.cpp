@@ -100,6 +100,41 @@ TEST(CliOptions, ParsesTracePaths) {
   EXPECT_NE(usage().find("--delivery-log"), std::string::npos);
 }
 
+TEST(CliOptions, ParsesSnapshotFlags) {
+  const ParseResult save = parse(
+      {"--snapshot-at", "60", "--save-snapshot", "snap", "--hours", "3"});
+  ASSERT_TRUE(save.ok());
+  EXPECT_DOUBLE_EQ(*save.plan->snapshot_at_minutes, 60.0);
+  EXPECT_EQ(save.plan->save_snapshot_path, "snap");
+  const ParseResult restore = parse({"--restore-snapshot", "snap"});
+  ASSERT_TRUE(restore.ok());
+  EXPECT_EQ(restore.plan->restore_snapshot_path, "snap");
+  EXPECT_NE(usage().find("--save-snapshot"), std::string::npos);
+  EXPECT_NE(usage().find("--restore-snapshot"), std::string::npos);
+}
+
+TEST(CliOptions, RejectsInconsistentSnapshotFlags) {
+  // Save and the pause mark must travel together.
+  EXPECT_FALSE(parse({"--save-snapshot", "snap"}).ok());
+  EXPECT_FALSE(parse({"--snapshot-at", "60"}).ok());
+  EXPECT_FALSE(parse({"--snapshot-at", "0", "--save-snapshot", "s"}).ok());
+  EXPECT_FALSE(parse({"--snapshot-at", "abc", "--save-snapshot", "s"}).ok());
+  // The mark must fall strictly inside the run.
+  EXPECT_FALSE(parse({"--minutes", "90", "--snapshot-at", "90",
+                      "--save-snapshot", "s"}).ok());
+  // Save and restore in one invocation is a contradiction.
+  EXPECT_FALSE(parse({"--snapshot-at", "60", "--save-snapshot", "s",
+                      "--restore-snapshot", "s"}).ok());
+  // Fleet shards checkpoint through FleetConfig, not these flags.
+  EXPECT_FALSE(parse({"--fleet", "100", "--restore-snapshot", "s"}).ok());
+  EXPECT_FALSE(parse({"--fleet", "100", "--snapshot-at", "60",
+                      "--save-snapshot", "s"}).ok());
+  // The waveform monitor does not serialize with the run.
+  EXPECT_FALSE(parse({"--waveform", "w.csv", "--restore-snapshot", "s"}).ok());
+  EXPECT_FALSE(parse({"--waveform", "w.csv", "--snapshot-at", "60",
+                      "--save-snapshot", "s"}).ok());
+}
+
 TEST(CliOptions, HelpShortCircuits) {
   const ParseResult r = parse({"--help", "--bogus-after-help"});
   ASSERT_TRUE(r.ok());

@@ -1,0 +1,211 @@
+// Sweep-server core: the result cache must answer repeated identical
+// requests without re-simulating (hit counter increments), warm-started
+// sweep points must match their cold straight runs bit-for-bit, the
+// protocol codec must round-trip, and hostile frames must be rejected with
+// std::logic_error — never crash the core.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "exp/run.hpp"
+#include "serve/serve_core.hpp"
+#include "serve/server.hpp"
+
+namespace simty::serve {
+namespace {
+
+Request quick_request(double beta = 0.0) {
+  Request req;
+  req.policy = exp::PolicyKind::kSimty;
+  req.workload = exp::WorkloadKind::kLight;
+  req.duration = Duration::minutes(90);
+  req.seed = 11;
+  if (beta > 0.0) {
+    // Switch at 80 minutes: the shared prefix covers ~90% of the run.
+    req.beta_switch =
+        exp::ExperimentConfig::BetaSwitch{Duration::minutes(80), beta};
+  }
+  return req;
+}
+
+void expect_identical(const Response& a, const Response& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.total_j, b.total_j);
+  EXPECT_EQ(a.awake_total_j, b.awake_total_j);
+  EXPECT_EQ(a.average_power_mw, b.average_power_mw);
+  EXPECT_EQ(a.projected_standby_hours, b.projected_standby_hours);
+  EXPECT_EQ(a.delay_perceptible, b.delay_perceptible);
+  EXPECT_EQ(a.delay_imperceptible, b.delay_imperceptible);
+  EXPECT_EQ(a.delay_imperceptible_p95, b.delay_imperceptible_p95);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.batches_delivered, b.batches_delivered);
+  EXPECT_EQ(a.one_shots, b.one_shots);
+  EXPECT_EQ(a.awake_seconds, b.awake_seconds);
+  EXPECT_EQ(a.asleep_seconds, b.asleep_seconds);
+  EXPECT_EQ(a.worst_gap_ratio, b.worst_gap_ratio);
+  EXPECT_EQ(a.gap_violations, b.gap_violations);
+  EXPECT_EQ(a.perceptible_window_misses, b.perceptible_window_misses);
+}
+
+TEST(ServeCodec, RequestRoundTripsExactly) {
+  const Request req = quick_request(0.7);
+  const Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.policy, req.policy);
+  EXPECT_EQ(back.workload, req.workload);
+  EXPECT_EQ(back.duration.us(), req.duration.us());
+  EXPECT_EQ(back.seed, req.seed);
+  EXPECT_EQ(back.doze, req.doze);
+  EXPECT_EQ(back.system_alarms, req.system_alarms);
+  ASSERT_TRUE(back.beta_switch.has_value());
+  EXPECT_EQ(back.beta_switch->at.us(), req.beta_switch->at.us());
+  EXPECT_EQ(back.beta_switch->beta, req.beta_switch->beta);
+}
+
+TEST(ServeCodec, ResponseAndStatsRoundTrip) {
+  Response resp;
+  resp.cached = true;
+  resp.warm_started = true;
+  resp.policy_name = "SIMTY";
+  resp.total_j = 12.5;
+  resp.gap_violations = 3;
+  expect_identical(resp, decode_response(encode_response(resp)));
+  EXPECT_TRUE(decode_response(encode_response(resp)).cached);
+
+  ServeStats stats;
+  stats.requests = 7;
+  stats.prefix_hits = 5;
+  const ServeStats back = decode_stats(encode_stats(stats));
+  EXPECT_EQ(back.requests, 7u);
+  EXPECT_EQ(back.prefix_hits, 5u);
+}
+
+TEST(ServeCodec, RejectsMalformedFrames) {
+  ServeCore core;
+  EXPECT_THROW(core.handle_frame("not a snapshot"), std::logic_error);
+  // A valid container with the wrong section is equally rejected.
+  EXPECT_THROW(core.handle_frame(encode_shutdown()), std::logic_error);
+  // Truncations of a valid request must never desynchronize the decoder.
+  const std::string good = encode_request(quick_request(0.5));
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4}, good.size() / 2,
+                                 good.size() - 1}) {
+    EXPECT_THROW(core.handle_frame(good.substr(0, keep)), std::logic_error)
+        << "kept " << keep << " bytes";
+  }
+  // Domain validation: a switch instant past the horizon.
+  Request bad = quick_request(0.5);
+  bad.beta_switch->at = bad.duration + Duration::seconds(1);
+  EXPECT_THROW(decode_request(encode_request(bad)), std::logic_error);
+}
+
+TEST(ServeHash, SeedAndBetaFactorOutAsDesigned) {
+  const Request a = quick_request(0.3);
+  Request b = a;
+  b.beta_switch->beta = 0.9;
+  Request c = a;
+  c.seed = 99;
+
+  // Result-cache key: β matters, seed is factored out into the pair.
+  EXPECT_NE(config_hash(a), config_hash(b));
+  EXPECT_EQ(config_hash(a), config_hash(c));
+  // Prefix key: β is blind (the whole point), seed matters.
+  EXPECT_EQ(prefix_hash(a), prefix_hash(b));
+  EXPECT_NE(prefix_hash(a), prefix_hash(c));
+}
+
+TEST(ServeCore, RepeatedIdenticalRequestsHitTheResultCache) {
+  ServeCore core;
+  const Request req = quick_request();
+  const Response first = core.handle(req);
+  EXPECT_FALSE(first.cached);
+  const Response second = core.handle(req);
+  EXPECT_TRUE(second.cached);
+  expect_identical(first, second);
+  const Response third = core.handle(req);
+  EXPECT_TRUE(third.cached);
+  EXPECT_EQ(core.stats().requests, 3u);
+  EXPECT_EQ(core.stats().result_hits, 2u);
+  EXPECT_EQ(core.stats().result_misses, 1u);
+}
+
+TEST(ServeCore, WarmStartedSweepPointMatchesColdRun) {
+  ServeCore core;
+  // First sweep point: cold, simulates the prefix and parks the snapshot.
+  const Response lo = core.handle(quick_request(0.3));
+  EXPECT_FALSE(lo.warm_started);
+  EXPECT_EQ(core.stats().prefix_misses, 1u);
+  EXPECT_EQ(core.stats().snapshots_stored, 1u);
+
+  // Second point differs only in β: served from the shared prefix…
+  const Request hi = quick_request(0.9);
+  const Response warm = core.handle(hi);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(core.stats().prefix_hits, 1u);
+
+  // …and must equal a from-scratch run of that config exactly.
+  exp::ExperimentConfig config;
+  config.policy = hi.policy;
+  config.workload = hi.workload;
+  config.duration = hi.duration;
+  config.seed = hi.seed;
+  config.beta_switch = hi.beta_switch;
+  const exp::RunResult straight = exp::run_experiment(config);
+  EXPECT_EQ(warm.total_j, straight.energy.total().joules_f());
+  EXPECT_EQ(warm.average_power_mw, straight.average_power_mw);
+  EXPECT_EQ(warm.delay_imperceptible, straight.delay_imperceptible);
+  EXPECT_EQ(warm.deliveries, straight.deliveries);
+  EXPECT_EQ(warm.gap_violations, straight.gap_violations);
+
+  // The differing-β results are genuinely different runs (the switch did
+  // something), or the warm-start test would be vacuous.
+  EXPECT_NE(lo.total_j, warm.total_j);
+}
+
+TEST(ServeCore, PrefixStoreEvictsLeastRecentlyUsed) {
+  ServeCore core(1);  // room for exactly one prefix
+  Request a = quick_request(0.3);
+  Request b = quick_request(0.3);
+  b.seed = 12;  // different prefix key (prefix is seed-specific)
+
+  core.handle(a);
+  EXPECT_EQ(core.stats().snapshots_stored, 1u);
+  core.handle(b);  // evicts a's prefix
+  EXPECT_EQ(core.stats().snapshots_evicted, 1u);
+  Request a2 = a;
+  a2.beta_switch->beta = 0.9;  // would have warm-started from a's prefix
+  core.handle(a2);
+  EXPECT_EQ(core.stats().prefix_hits, 0u);
+  EXPECT_EQ(core.stats().prefix_misses, 3u);
+}
+
+TEST(ServeServer, SocketRoundTripServesAndShutsDown) {
+  const std::string path = ::testing::TempDir() + "simty_serve_test.sock";
+  ServeCore core;
+  Server server(path, core);
+  std::thread daemon([&] { server.serve(); });
+
+  Request req = quick_request();
+  req.duration = Duration::minutes(30);
+  const std::string reply = query(path, encode_request(req));
+  const Response first = decode_response(reply);
+  EXPECT_FALSE(first.cached);
+  const Response second = decode_response(query(path, encode_request(req)));
+  EXPECT_TRUE(second.cached);
+  expect_identical(first, second);
+
+  const ServeStats stats = decode_stats(query(path, encode_stats_request()));
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.result_hits, 1u);
+
+  // A garbage frame gets an error reply, not a dead daemon.
+  const std::string err = query(path, std::string("garbage"));
+  EXPECT_THROW(decode_response(err), std::logic_error);
+
+  EXPECT_TRUE(is_shutdown_frame(query(path, encode_shutdown())));
+  daemon.join();
+}
+
+}  // namespace
+}  // namespace simty::serve

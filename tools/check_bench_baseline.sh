@@ -32,8 +32,13 @@ status=0
 while read -r name; do
   b=$(rate "$base" "$name")
   f=$(rate "$fresh" "$name")
-  if [ "$(awk -v b="$b" -v f="$f" 'BEGIN { print (f >= 0.4 * b) ? 1 : 0 }')" != 1 ]; then
-    echo "FAIL: $name collapsed: baseline=${b}x fresh=${f}x (floor: 40% of baseline)" >&2
+  # Name the failing metric in every mode: an unparseable rate must fail
+  # loudly (empty awk vars would otherwise compare 0 >= 0 and pass).
+  if [ -z "$b" ] || [ -z "$f" ]; then
+    echo "FAIL: metric '$name' has no parseable ratio (baseline='${b}' fresh='${f}')" >&2
+    status=1
+  elif [ "$(awk -v b="$b" -v f="$f" 'BEGIN { print (f >= 0.4 * b) ? 1 : 0 }')" != 1 ]; then
+    echo "FAIL: metric '$name' fell below the 40% floor: baseline=${b}x fresh=${f}x (floor $(awk -v b="$b" 'BEGIN { printf "%.3f", 0.4 * b }')x)" >&2
     status=1
   else
     echo "ok: $name baseline=${b}x fresh=${f}x"

@@ -25,6 +25,7 @@ const std::vector<ModuleRule>& repo_modules() {
   static const std::vector<ModuleRule> rules = {
       {"src/common", "common", 0},
       {"src/trace/tracer", "tracer", 1},
+      {"src/snapshot", "snapshot", 1},  // pure serialization over common
       {"src/sim", "sim", 2},
       {"src/hw", "hw", 3},
       {"src/alarm", "alarm", 4},
@@ -38,6 +39,7 @@ const std::vector<ModuleRule>& repo_modules() {
       {"src/exp", "exp", 8},
       {"src/usage", "usage", 9},
       {"src/fleet", "fleet", 9},
+      {"src/serve", "serve", 9},  // sweep server drives exp runs
       {"src/cli", "cli", 10},
       {"src/simty.hpp", "cli", 10},  // umbrella header may see everything
   };

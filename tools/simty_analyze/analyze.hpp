@@ -60,7 +60,8 @@ struct Config {
   /// sources in the model layers, the analyzer catches laundering *into*
   /// the core through helpers.
   std::vector<std::string> deterministic_prefixes = {
-      "src/sim", "src/alarm", "src/policy", "src/exp", "src/fleet", "src/trace"};
+      "src/sim",   "src/alarm", "src/policy",   "src/exp",
+      "src/fleet", "src/trace", "src/snapshot", "src/serve"};
   /// Emit unused-include advisories (IWYU-lite). On by default.
   bool iwyu = true;
 };

@@ -39,10 +39,13 @@ struct Options {
   /// contract is gated in CI), and the model layers they simulate through —
   /// net/hw/power/usage/metrics all execute inside the event loop, so a
   /// wall-clock read or unseeded draw there breaks the same contract.
+  /// snapshot (checkpoint bytes must not depend on when they were written)
+  /// and serve (cached results must equal freshly computed ones) extend the
+  /// same contract across process boundaries.
   std::vector<std::string> deterministic_prefixes = {
-      "src/sim",   "src/alarm", "src/exp",   "src/policy", "src/trace",
-      "src/fleet", "src/net",   "src/hw",    "src/power",  "src/usage",
-      "src/metrics"};
+      "src/sim",   "src/alarm",   "src/exp",   "src/policy", "src/trace",
+      "src/fleet", "src/net",     "src/hw",    "src/power",  "src/usage",
+      "src/metrics", "src/snapshot", "src/serve"};
   /// The event hot path: EventFn instead of std::function, interned
   /// const char* labels instead of std::string.
   std::vector<std::string> hot_path_prefixes = {"src/sim"};

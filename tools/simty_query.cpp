@@ -1,0 +1,170 @@
+// simty_query: client for the simty_serve sweep daemon.
+//
+//   simty_query --socket /tmp/simty.sock [run options]
+//   simty_query --socket /tmp/simty.sock --stats
+//   simty_query --socket /tmp/simty.sock --shutdown
+//
+// Run options mirror the serve request schema:
+//   --policy native|simty|exact|simty-dur   (default simty)
+//   --workload light|heavy|synthetic        (default light)
+//   --hours H | --minutes M                 (default 3 hours)
+//   --seed N                                (default 1)
+//   --doze
+//   --no-system-alarms
+//   --beta-switch-at-minutes M --beta B     (the sweep lever)
+//
+// Output is one key=value line per response field, machine-greppable:
+//   cached=1 warm_started=0 total_j=... average_power_mw=...
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "serve/serve_core.hpp"
+#include "serve/server.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simty_query --socket <path> "
+               "[--stats | --shutdown | run options]\n"
+               "run options: --policy P --workload W --hours H --minutes M\n"
+               "             --seed N --doze --no-system-alarms\n"
+               "             --beta-switch-at-minutes M --beta B\n");
+  return 2;
+}
+
+bool parse_policy(const std::string& s, simty::exp::PolicyKind& out) {
+  if (s == "native") out = simty::exp::PolicyKind::kNative;
+  else if (s == "simty") out = simty::exp::PolicyKind::kSimty;
+  else if (s == "exact") out = simty::exp::PolicyKind::kExact;
+  else if (s == "simty-dur") out = simty::exp::PolicyKind::kSimtyDuration;
+  else return false;
+  return true;
+}
+
+bool parse_workload(const std::string& s, simty::exp::WorkloadKind& out) {
+  if (s == "light") out = simty::exp::WorkloadKind::kLight;
+  else if (s == "heavy") out = simty::exp::WorkloadKind::kHeavy;
+  else if (s == "synthetic") out = simty::exp::WorkloadKind::kSynthetic;
+  else return false;
+  return true;
+}
+
+void print_response(const simty::serve::Response& r) {
+  std::printf("cached=%d\n", r.cached ? 1 : 0);
+  std::printf("warm_started=%d\n", r.warm_started ? 1 : 0);
+  std::printf("policy=%s\n", r.policy_name.c_str());
+  std::printf("total_j=%.17g\n", r.total_j);
+  std::printf("awake_total_j=%.17g\n", r.awake_total_j);
+  std::printf("average_power_mw=%.17g\n", r.average_power_mw);
+  std::printf("projected_standby_hours=%.17g\n", r.projected_standby_hours);
+  std::printf("delay_perceptible=%.17g\n", r.delay_perceptible);
+  std::printf("delay_imperceptible=%.17g\n", r.delay_imperceptible);
+  std::printf("delay_imperceptible_p95=%.17g\n", r.delay_imperceptible_p95);
+  std::printf("deliveries=%.17g\n", r.deliveries);
+  std::printf("batches_delivered=%.17g\n", r.batches_delivered);
+  std::printf("one_shots=%.17g\n", r.one_shots);
+  std::printf("awake_seconds=%.17g\n", r.awake_seconds);
+  std::printf("asleep_seconds=%.17g\n", r.asleep_seconds);
+  std::printf("worst_gap_ratio=%.17g\n", r.worst_gap_ratio);
+  std::printf("gap_violations=%llu\n",
+              static_cast<unsigned long long>(r.gap_violations));
+  std::printf("perceptible_window_misses=%llu\n",
+              static_cast<unsigned long long>(r.perceptible_window_misses));
+}
+
+void print_stats(const simty::serve::ServeStats& s) {
+  std::printf("requests=%llu\n", static_cast<unsigned long long>(s.requests));
+  std::printf("result_hits=%llu\n",
+              static_cast<unsigned long long>(s.result_hits));
+  std::printf("result_misses=%llu\n",
+              static_cast<unsigned long long>(s.result_misses));
+  std::printf("prefix_hits=%llu\n",
+              static_cast<unsigned long long>(s.prefix_hits));
+  std::printf("prefix_misses=%llu\n",
+              static_cast<unsigned long long>(s.prefix_misses));
+  std::printf("snapshots_stored=%llu\n",
+              static_cast<unsigned long long>(s.snapshots_stored));
+  std::printf("snapshots_evicted=%llu\n",
+              static_cast<unsigned long long>(s.snapshots_evicted));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool stats = false, shutdown = false;
+  simty::serve::Request req;
+  std::int64_t switch_minutes = -1;
+  double beta = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
+    else if (arg == "--stats") stats = true;
+    else if (arg == "--shutdown") shutdown = true;
+    else if (arg == "--policy" && i + 1 < argc) {
+      if (!parse_policy(argv[++i], req.policy)) return usage();
+    } else if (arg == "--workload" && i + 1 < argc) {
+      if (!parse_workload(argv[++i], req.workload)) return usage();
+    } else if (arg == "--hours" && i + 1 < argc) {
+      req.duration = simty::Duration::hours(std::atoll(argv[++i]));
+    } else if (arg == "--minutes" && i + 1 < argc) {
+      req.duration = simty::Duration::minutes(std::atoll(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      req.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--doze") {
+      req.doze = true;
+    } else if (arg == "--no-system-alarms") {
+      req.system_alarms = false;
+    } else if (arg == "--beta-switch-at-minutes" && i + 1 < argc) {
+      switch_minutes = std::atoll(argv[++i]);
+    } else if (arg == "--beta" && i + 1 < argc) {
+      beta = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty()) return usage();
+  if ((switch_minutes >= 0) != (beta > 0.0)) {
+    std::fprintf(stderr,
+                 "simty_query: --beta-switch-at-minutes and --beta go "
+                 "together\n");
+    return 2;
+  }
+  if (switch_minutes >= 0) {
+    req.beta_switch = simty::exp::ExperimentConfig::BetaSwitch{
+        simty::Duration::minutes(switch_minutes), beta};
+  }
+
+  try {
+    std::string frame;
+    if (shutdown) frame = simty::serve::encode_shutdown();
+    else if (stats) frame = simty::serve::encode_stats_request();
+    else frame = simty::serve::encode_request(req);
+
+    const std::string reply = simty::serve::query(socket_path, frame);
+    if (shutdown) {
+      std::printf("shutdown=%d\n",
+                  simty::serve::is_shutdown_frame(reply) ? 1 : 0);
+      return 0;
+    }
+    const simty::snapshot::Reader reader(reply);
+    if (reader.has_section("simty-error")) {
+      simty::snapshot::SectionReader s =
+          reader.section("simty-error", simty::serve::kProtocolVersion);
+      std::fprintf(stderr, "simty_query: server error: %s\n", s.str().c_str());
+      return 1;
+    }
+    if (stats) print_stats(simty::serve::decode_stats(reply));
+    else print_response(simty::serve::decode_response(reply));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simty_query: %s\n", e.what());
+    return 1;
+  }
+}
