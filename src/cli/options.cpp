@@ -1,5 +1,6 @@
 #include "cli/options.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/strings.hpp"
@@ -14,14 +15,23 @@ std::optional<exp::PolicyKind> parse_policy(const std::string& name) {
   if (name == "simty") return exp::PolicyKind::kSimty;
   if (name == "exact") return exp::PolicyKind::kExact;
   if (name == "simty-dur") return exp::PolicyKind::kSimtyDuration;
+  if (name == "fixed") return exp::PolicyKind::kFixedInterval;
   return std::nullopt;
 }
 
 std::optional<double> parse_double(const std::string& s) {
+  // std::stod happily accepts "nan", "inf", and hex floats like "0x1p3" —
+  // none of which are meaningful flag values, and nan in particular poisons
+  // every downstream range check (nan < 0.0 is false). Only plain finite
+  // decimal literals pass.
+  for (const char c : s) {
+    if (c == 'x' || c == 'X') return std::nullopt;  // hex float
+  }
   try {
     std::size_t pos = 0;
     const double v = std::stod(s, &pos);
     if (pos != s.size()) return std::nullopt;
+    if (!std::isfinite(v)) return std::nullopt;  // nan / inf / overflow
     return v;
   } catch (const std::exception&) {
     return std::nullopt;
@@ -48,6 +58,8 @@ ParseResult fail(const std::string& message) {
 ParseResult parse_args(const std::vector<std::string>& args) {
   RunPlan plan;
   bool policies_set = false;
+  bool wur = false;
+  std::optional<Duration> wur_budget;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -150,6 +162,34 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       plan.config.doze = true;
       continue;
     }
+    if (arg == "--fixed-interval") {
+      const auto v = value();
+      const auto s = v ? parse_double(*v) : std::nullopt;
+      if (!s || *s <= 0.0) return fail("--fixed-interval needs positive seconds");
+      plan.config.fixed_interval = Duration::from_seconds(*s);
+      continue;
+    }
+    if (arg == "--drx-cycle") {
+      const auto v = value();
+      const auto ms = v ? parse_double(*v) : std::nullopt;
+      if (!ms || *ms <= 0.0) return fail("--drx-cycle needs positive milliseconds");
+      if (!plan.config.drx) plan.config.drx.emplace();
+      plan.config.drx->paging_cycle = Duration::from_seconds(*ms / 1000.0);
+      continue;
+    }
+    if (arg == "--wur") {
+      wur = true;
+      continue;
+    }
+    if (arg == "--wur-budget") {
+      const auto v = value();
+      const auto ms = v ? parse_double(*v) : std::nullopt;
+      if (!ms || *ms < 0.0) {
+        return fail("--wur-budget needs non-negative milliseconds");
+      }
+      wur_budget = Duration::from_seconds(*ms / 1000.0);
+      continue;
+    }
     if (arg == "--hw-levels") {
       const auto v = value();
       const auto n = v ? parse_int(*v) : std::nullopt;
@@ -241,6 +281,19 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   }
 
   if (plan.policies.empty()) return fail("at least one --policy is required");
+  if (wur && !plan.config.drx) {
+    return fail("--wur requires --drx-cycle (it answers DRX pages)");
+  }
+  if (wur_budget && !wur) {
+    return fail("--wur-budget requires --wur");
+  }
+  if (plan.config.drx) {
+    plan.config.drx->wur = wur;
+    if (wur_budget) plan.config.drx->wur_delay_budget = *wur_budget;
+    if (plan.config.drx->on_duration >= plan.config.drx->paging_cycle) {
+      return fail("--drx-cycle must exceed the 10 ms paging on-duration");
+    }
+  }
   if (!plan.fleet_devices && plan.cohorts_path) {
     return fail("--cohorts requires --fleet");
   }
@@ -277,7 +330,9 @@ std::string usage() {
       "simty_run — connected-standby experiments with SIMTY wakeup management\n"
       "\n"
       "usage: simty_run [flags]\n"
-      "  --policy P[,P...]    native|simty|exact|simty-dur|all (default native,simty)\n"
+      "  --policy P[,P...]    native|simty|exact|simty-dur|fixed|all\n"
+      "                       (default native,simty; 'all' = the four paper\n"
+      "                       policies, 'fixed' must be named explicitly)\n"
       "  --workload W         light|heavy|synthetic (default light)\n"
       "  --apps N             synthetic workload size (default 18)\n"
       "  --beta F             grace factor in [0,1) (default 0.96)\n"
@@ -290,6 +345,13 @@ std::string usage() {
       "                       auto = $SIMTY_JOBS or the hardware threads)\n"
       "  --no-system-alarms   disable the Android system-alarm mix\n"
       "  --doze               enable AOSP-M-style doze maintenance windows\n"
+      "  --fixed-interval S   slot seconds for --policy fixed (default 300)\n"
+      "  --drx-cycle MS       enable the downlink DRX/paging scenario with\n"
+      "                       this paging cycle (10 ms on-durations)\n"
+      "  --wur                answer pages via the wake-up receiver instead\n"
+      "                       of DRX listening (requires --drx-cycle)\n"
+      "  --wur-budget MS      batch pages for MS after a WuR trigger before\n"
+      "                       answering (delay-vs-energy knob, default 0)\n"
       "  --hw-levels 2|3|4    hardware-similarity granularity (default 3)\n"
       "  --fleet N            fleet mode: simulate N devices per policy,\n"
       "                       sampled from cohorts (aggregates are\n"

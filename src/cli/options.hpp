@@ -61,7 +61,7 @@ struct ParseResult {
 /// Parses argv (excluding argv[0]).
 ///
 /// Flags:
-///   --policy native|simty|exact|simty-dur|all (repeatable, comma lists ok)
+///   --policy native|simty|exact|simty-dur|fixed|all (repeatable, comma ok)
 ///   --workload light|heavy|synthetic
 ///   --apps N           synthetic app count
 ///   --beta F           grace factor in [0, 1)
@@ -71,6 +71,10 @@ struct ParseResult {
 ///   --jobs N|auto      parallel workers for repetitions (deterministic)
 ///   --no-system-alarms
 ///   --hw-levels 2|3|4  hardware-similarity granularity
+///   --fixed-interval S slot seconds for --policy fixed
+///   --drx-cycle MS     downlink DRX/paging scenario, this paging cycle
+///   --wur              answer pages via the wake-up receiver
+///   --wur-budget MS    batch pages this long after a WuR trigger
 ///   --snapshot-at M    pause the base-seed run at ~M minutes (quiescent)
 ///   --save-snapshot PATH    write PATH.<POLICY> snapshot files and exit
 ///   --restore-snapshot PATH resume from PATH.<POLICY> files

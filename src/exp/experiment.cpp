@@ -14,6 +14,7 @@ const char* to_string(PolicyKind p) {
     case PolicyKind::kSimty: return "SIMTY";
     case PolicyKind::kExact: return "EXACT";
     case PolicyKind::kSimtyDuration: return "SIMTY-DUR";
+    case PolicyKind::kFixedInterval: return "FIXED";
   }
   return "?";
 }
@@ -87,6 +88,17 @@ RunResult average_results(const std::vector<RunResult>& results) {
   mean.one_shots = zero_add([](const RunResult& r) { return r.one_shots; });
   mean.awake_seconds = zero_add([](const RunResult& r) { return r.awake_seconds; });
   mean.asleep_seconds = zero_add([](const RunResult& r) { return r.asleep_seconds; });
+
+  mean.pages_answered = zero_add([](const RunResult& r) { return r.pages_answered; });
+  mean.page_delay_avg_s =
+      zero_add([](const RunResult& r) { return r.page_delay_avg_s; });
+  mean.page_delay_p95_s =
+      zero_add([](const RunResult& r) { return r.page_delay_p95_s; });
+  mean.drx_listen_seconds =
+      zero_add([](const RunResult& r) { return r.drx_listen_seconds; });
+  mean.wur_listen_seconds =
+      zero_add([](const RunResult& r) { return r.wur_listen_seconds; });
+  mean.wur_triggers = zero_add([](const RunResult& r) { return r.wur_triggers; });
 
   double worst = 0.0;
   std::uint64_t violations = 0, misses = 0;

@@ -15,10 +15,12 @@
 #include "alarm/similarity.hpp"
 #include "apps/workload.hpp"
 #include "hw/power_model.hpp"
+#include "hw/wur.hpp"
 #include "common/arena.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
+#include "net/drx.hpp"
 #include "power/energy_accounting.hpp"
 
 namespace simty::trace {
@@ -28,7 +30,7 @@ class Tracer;
 namespace simty::exp {
 
 /// Which alignment policy to run.
-enum class PolicyKind { kNative, kSimty, kExact, kSimtyDuration };
+enum class PolicyKind { kNative, kSimty, kExact, kSimtyDuration, kFixedInterval };
 
 const char* to_string(PolicyKind p);
 
@@ -53,6 +55,18 @@ struct ExperimentConfig {
   Duration duration = Duration::hours(3);
   std::uint64_t seed = 1;
   bool system_alarms = true;
+
+  /// Slot length for PolicyKind::kFixedInterval (ignored otherwise).
+  Duration fixed_interval = Duration::seconds(300);
+
+  /// Optional downlink DRX/paging scenario (net/drx.hpp): when set, the run
+  /// deploys a net::CellularStandby harness with a DrxPager on this config.
+  /// With drx->wur the run also owns a hw::WakeupReceiver (parameters in
+  /// `wur` below) that answers pages instead of DRX listening.
+  std::optional<net::DrxConfig> drx;
+
+  /// Wake-up receiver parameters, used only when drx && drx->wur.
+  hw::WurConfig wur;
 
   /// Device power model (defaults to the paper-calibrated Nexus 5).
   hw::PowerModel power_model = hw::PowerModel::nexus5();
@@ -147,6 +161,14 @@ struct RunResult {
   double worst_gap_ratio = 0.0;
   std::uint64_t gap_violations = 0;
   std::uint64_t perceptible_window_misses = 0;  // beyond window + wake latency
+
+  // Downlink paging scenario (zero unless ExperimentConfig::drx is set).
+  double pages_answered = 0.0;
+  double page_delay_avg_s = 0.0;        // arrival -> answer, mean
+  double page_delay_p95_s = 0.0;
+  double drx_listen_seconds = 0.0;      // main-radio paging on-durations
+  double wur_listen_seconds = 0.0;      // wake-up receiver listen time
+  double wur_triggers = 0.0;
 };
 
 /// Runs one seeded experiment.

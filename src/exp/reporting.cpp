@@ -110,10 +110,45 @@ std::string render_guarantee_audit(const std::vector<NamedResult>& columns) {
   return t.render();
 }
 
+std::string render_paging_table(const std::vector<NamedResult>& columns) {
+  SIMTY_CHECK(!columns.empty());
+  bool any = false;
+  for (const NamedResult& c : columns) {
+    const RunResult& r = c.result;
+    any = any || r.pages_answered > 0.0 || r.drx_listen_seconds > 0.0 ||
+          r.wur_listen_seconds > 0.0;
+  }
+  if (!any) return {};
+
+  TextTable t("Downlink paging (DRX / wake-up receiver)");
+  std::vector<std::string> header{"Paging"};
+  for (const NamedResult& c : columns) header.push_back(c.label);
+  t.set_header(std::move(header));
+  auto add = [&](const std::string& name, const char* fmt, auto get) {
+    std::vector<std::string> row{name};
+    for (const NamedResult& c : columns) {
+      row.push_back(str_format(fmt, get(c.result)));
+    }
+    t.add_row(std::move(row));
+  };
+  add("pages answered", "%.1f", [](const RunResult& r) { return r.pages_answered; });
+  add("page delay avg (s)", "%.3f",
+      [](const RunResult& r) { return r.page_delay_avg_s; });
+  add("page delay p95 (s)", "%.3f",
+      [](const RunResult& r) { return r.page_delay_p95_s; });
+  add("DRX listen (s)", "%.2f",
+      [](const RunResult& r) { return r.drx_listen_seconds; });
+  add("WuR listen (s)", "%.2f",
+      [](const RunResult& r) { return r.wur_listen_seconds; });
+  add("WuR triggers", "%.1f", [](const RunResult& r) { return r.wur_triggers; });
+  return t.render();
+}
+
 std::string results_csv(const std::vector<NamedResult>& columns) {
   CsvWriter csv({"label", "policy", "awake_J", "sleep_J", "total_J", "avg_mW",
                  "standby_h", "delay_perceptible", "delay_imperceptible",
-                 "cpu_wakeups", "cpu_expected", "deliveries"});
+                 "cpu_wakeups", "cpu_expected", "deliveries", "pages",
+                 "page_delay_avg_s", "page_delay_p95_s"});
   for (const NamedResult& c : columns) {
     const RunResult& r = c.result;
     double cpu_actual = 0.0, cpu_expected = 0.0;
@@ -132,7 +167,10 @@ std::string results_csv(const std::vector<NamedResult>& columns) {
                  str_format("%.5f", r.delay_perceptible),
                  str_format("%.5f", r.delay_imperceptible),
                  str_format("%.1f", cpu_actual), str_format("%.1f", cpu_expected),
-                 str_format("%.1f", r.deliveries)});
+                 str_format("%.1f", r.deliveries),
+                 str_format("%.1f", r.pages_answered),
+                 str_format("%.5f", r.page_delay_avg_s),
+                 str_format("%.5f", r.page_delay_p95_s)});
   }
   return csv.to_string();
 }

@@ -32,6 +32,11 @@ std::string render_standby_projection(const std::vector<NamedResult>& columns);
 /// Guarantee audit summary (§3.2.2 properties).
 std::string render_guarantee_audit(const std::vector<NamedResult>& columns);
 
+/// Downlink paging summary (DRX/WuR scenario). Returns an empty string
+/// when no column carries paging activity, so callers can print it
+/// unconditionally.
+std::string render_paging_table(const std::vector<NamedResult>& columns);
+
 /// Writes the energy/delay/wakeups series as CSV rows for plotting.
 std::string results_csv(const std::vector<NamedResult>& columns);
 

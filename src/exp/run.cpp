@@ -4,6 +4,7 @@
 
 #include "alarm/duration_policy.hpp"
 #include "alarm/exact_policy.hpp"
+#include "alarm/fixed_interval_policy.hpp"
 #include "alarm/native_policy.hpp"
 #include "alarm/simty_policy.hpp"
 #include "common/check.hpp"
@@ -22,6 +23,8 @@ std::unique_ptr<alarm::AlignmentPolicy> make_policy(const ExperimentConfig& conf
     case PolicyKind::kExact: return std::make_unique<alarm::ExactPolicy>();
     case PolicyKind::kSimtyDuration:
       return std::make_unique<alarm::DurationSimtyPolicy>(config.similarity);
+    case PolicyKind::kFixedInterval:
+      return std::make_unique<alarm::FixedIntervalPolicy>(config.fixed_interval);
   }
   SIMTY_CHECK_MSG(false, "unknown policy kind");
   return nullptr;
@@ -62,7 +65,8 @@ int wire_listeners(hw::PowerBus& bus, power::EnergyAccountant& accountant,
 
 // Section schema versions; bump a component's entry when its field list
 // changes so old snapshots fail loudly instead of misparsing.
-constexpr std::uint32_t kSectionVersion = 1;
+// v2: hw::Component gained kWur (accountant per-component array grew).
+constexpr std::uint32_t kSectionVersion = 2;
 
 }  // namespace
 
@@ -113,6 +117,15 @@ Run::Run(const ExperimentConfig& config)
     system_alarms_ = std::make_unique<apps::SystemAlarmSource>(
         sim_, manager_, sys_cfg, Rng(config_.seed, 0x515));
     system_alarms_->start(horizon_);
+  }
+
+  if (config_.drx) {
+    if (config_.drx->wur) {
+      wur_ = std::make_unique<hw::WakeupReceiver>(sim_, config_.wur, bus_);
+    }
+    cellular_ = std::make_unique<net::CellularStandby>(sim_, manager_, bus_);
+    cellular_->deploy_paging(device_, bus_, wur_.get(), *config_.drx,
+                             Rng(config_.seed, 0xD2C));
   }
 
   if (config_.beta_switch) {
@@ -183,6 +196,16 @@ std::string Run::save_snapshot() const {
     system_alarms_->save(w);
     w.end_section();
   }
+  if (cellular_) {
+    w.begin_section("cellular", kSectionVersion);
+    cellular_->save(w);
+    w.end_section();
+  }
+  if (wur_) {
+    w.begin_section("wur", kSectionVersion);
+    wur_->save(w);
+    w.end_section();
+  }
   w.begin_section("accountant", kSectionVersion);
   accountant_.save(w);
   w.end_section();
@@ -248,6 +271,18 @@ void Run::restore_snapshot(const std::string& bytes) {
     snapshot::SectionReader s = r.section("system-alarms", kSectionVersion);
     system_alarms_->restore(s);
   }
+  SIMTY_CHECK_MSG(r.has_section("cellular") == (cellular_ != nullptr),
+                  "Run::restore_snapshot: DRX/paging config mismatch");
+  if (cellular_) {
+    snapshot::SectionReader s = r.section("cellular", kSectionVersion);
+    cellular_->restore(s);
+  }
+  SIMTY_CHECK_MSG(r.has_section("wur") == (wur_ != nullptr),
+                  "Run::restore_snapshot: wake-up receiver config mismatch");
+  if (wur_) {
+    snapshot::SectionReader s = r.section("wur", kSectionVersion);
+    wur_->restore(s);
+  }
   {
     snapshot::SectionReader s = r.section("accountant", kSectionVersion);
     // Device::restore re-published the asleep rail above; this overwrite is
@@ -301,6 +336,8 @@ RunResult Run::finish() {
   sim_.run_until(horizon_);
   device_.finalize(horizon_);
   wakelocks_.finalize(horizon_);
+  if (cellular_) cellular_->finalize(horizon_);
+  if (wur_) wur_->finalize(horizon_);
   accountant_.finalize(horizon_);
   monitor_.finalize(horizon_);
   SIMTY_TRACE_SPAN_END(horizon_, trace::TraceCategory::kExp, "run",
@@ -332,6 +369,19 @@ RunResult Run::finish() {
   r.worst_gap_ratio = audit_.worst_gap_ratio();
   r.gap_violations = audit_.check_bounds(config_.beta).size();
   r.perceptible_window_misses = perceptible_misses_;
+  if (cellular_ && cellular_->pager() != nullptr) {
+    const net::DrxPager& pager = *cellular_->pager();
+    r.pages_answered = static_cast<double>(pager.pages_answered());
+    if (!pager.page_delays().empty()) {
+      r.page_delay_avg_s = pager.page_delays().mean();
+      r.page_delay_p95_s = pager.page_delays().quantile(0.95);
+    }
+    r.drx_listen_seconds = pager.drx_listen_time().seconds_f();
+  }
+  if (wur_) {
+    r.wur_listen_seconds = wur_->listen_time().seconds_f();
+    r.wur_triggers = static_cast<double>(wur_->triggers());
+  }
   return r;
 }
 

@@ -36,7 +36,9 @@
 #include "hw/power_bus.hpp"
 #include "hw/rtc.hpp"
 #include "hw/wakelock.hpp"
+#include "hw/wur.hpp"
 #include "metrics/delay_stats.hpp"
+#include "net/cellular.hpp"
 #include "metrics/interval_audit.hpp"
 #include "metrics/wakeup_breakdown.hpp"
 #include "power/energy_accounting.hpp"
@@ -121,6 +123,10 @@ class Run {
   trace::DeliveryLog capture_log_;
   apps::Workload workload_;
   alarm::DozeController doze_;
+  // DRX/paging scenario (config.drx): the receiver must outlive the
+  // cellular harness whose pager points at it, so it is declared first.
+  std::unique_ptr<hw::WakeupReceiver> wur_;
+  std::unique_ptr<net::CellularStandby> cellular_;
   TimePoint horizon_;
   std::unique_ptr<apps::SystemAlarmSource> system_alarms_;
   std::optional<sim::EventId> beta_switch_event_;

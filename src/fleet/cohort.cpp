@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 
 #include "apps/app_catalog.hpp"
@@ -201,6 +202,7 @@ double parse_num(const std::string& token, std::size_t line_no) {
 
 std::vector<CohortSpec> parse_cohorts(std::string_view text) {
   std::vector<CohortSpec> cohorts;
+  std::set<std::string> section_keys;  // keys seen in the current section
   std::size_t line_no = 0;
   for (const std::string& raw : split(std::string(text), '\n')) {
     ++line_no;
@@ -216,6 +218,7 @@ std::vector<CohortSpec> parse_cohorts(std::string_view text) {
       CohortSpec spec;
       spec.name = name;
       cohorts.push_back(std::move(spec));
+      section_keys.clear();
       continue;
     }
 
@@ -223,6 +226,11 @@ std::vector<CohortSpec> parse_cohorts(std::string_view text) {
     if (eq == std::string::npos) parse_fail(line_no, "expected key = value");
     if (cohorts.empty()) parse_fail(line_no, "key before any [cohort] section");
     const std::string key = trim(line.substr(0, eq));
+    // A repeated key within one cohort is almost always a copy-paste error,
+    // and silently keeping the later value would mask it.
+    if (!section_keys.insert(key).second) {
+      parse_fail(line_no, "duplicate key: " + key);
+    }
     std::vector<std::string> values;
     for (const std::string& v : split(trim(line.substr(eq + 1)), ' ')) {
       if (!trim(v).empty()) values.push_back(trim(v));

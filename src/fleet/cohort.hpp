@@ -109,7 +109,8 @@ std::vector<CohortSpec> default_cohorts();
 ///   rein_jitter = 0.2
 ///   ...
 ///
-/// Throws std::runtime_error with a line number on malformed input.
+/// Throws std::runtime_error with a line number on malformed input,
+/// including a key repeated within one cohort section.
 std::vector<CohortSpec> parse_cohorts(std::string_view text);
 
 /// Reads and parses a cohort file; throws std::runtime_error on I/O or

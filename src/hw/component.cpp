@@ -16,6 +16,7 @@ const char* to_string(Component c) {
     case Component::kSpeaker: return "speaker";
     case Component::kVibrator: return "vibrator";
     case Component::kScreen: return "screen";
+    case Component::kWur: return "wur";
   }
   return "?";
 }

@@ -25,9 +25,10 @@ enum class Component : std::uint8_t {
   kSpeaker,           // audio out — user-perceptible
   kVibrator,          // haptics — user-perceptible
   kScreen,            // display — user-perceptible
+  kWur,               // low-power wake-up receiver (5G WuR companion radio)
 };
 
-inline constexpr int kComponentCount = 8;
+inline constexpr int kComponentCount = 9;
 
 /// Short stable name, e.g. "wifi", "speaker".
 const char* to_string(Component c);

@@ -20,6 +20,10 @@ PowerModel PowerModel::nexus5() {
   m.component(Component::kSpeaker) = {Energy::millijoules(6.0), Power::milliwatts(40.0), 0.0};
   m.component(Component::kVibrator) = {Energy::millijoules(6.0), Power::milliwatts(50.0), 0.0};
   m.component(Component::kScreen) = {Energy::millijoules(50.0), Power::milliwatts(400.0), 0.0};
+  // Wake-up receiver: listen draw orders of magnitude below the main radio's
+  // paging-on power (Rostami et al., arXiv 2001.00914 report µW–mW class
+  // receivers against ~100 mW main-radio DRX on-durations).
+  m.component(Component::kWur) = {Energy::millijoules(0.5), Power::milliwatts(0.1), 0.0};
   return m;
 }
 
@@ -40,6 +44,7 @@ PowerModel PowerModel::wearable() {
   m.component(Component::kSpeaker) = {Energy::millijoules(2.0), Power::milliwatts(15.0), 0.0};
   m.component(Component::kVibrator) = {Energy::millijoules(2.0), Power::milliwatts(20.0), 0.0};
   m.component(Component::kScreen) = {Energy::millijoules(12.0), Power::milliwatts(90.0), 0.0};
+  m.component(Component::kWur) = {Energy::millijoules(0.2), Power::milliwatts(0.05), 0.0};
   return m;
 }
 

@@ -10,7 +10,7 @@ namespace simty::net {
 
 CellularStandby::CellularStandby(sim::Simulator& sim, alarm::AlarmManager& manager,
                                  hw::PowerBus& bus, RrcConfig config)
-    : manager_(manager), rrc_(sim, config, bus) {}
+    : sim_(sim), manager_(manager), rrc_(sim, config, bus) {}
 
 void CellularStandby::deploy(const std::vector<CellularSyncSpec>& specs, Rng rng,
                              double beta) {
@@ -28,6 +28,16 @@ void CellularStandby::deploy(const std::vector<CellularSyncSpec>& specs, Rng rng
         sync_handler(deployed_.back()));
     ++app_seq;
   }
+}
+
+void CellularStandby::deploy_paging(hw::Device& device, hw::PowerBus& bus,
+                                    hw::WakeupReceiver* wur,
+                                    const DrxConfig& config, Rng rng) {
+  SIMTY_CHECK_MSG(!finalized_, "CellularStandby::deploy_paging after finalize");
+  SIMTY_CHECK_MSG(pager_ == nullptr,
+                  "CellularStandby::deploy_paging called twice");
+  pager_ = std::make_unique<DrxPager>(sim_, rrc_, device, bus, wur, config, rng);
+  pager_->start();
 }
 
 alarm::DeliveryHandler CellularStandby::sync_handler(const DeployedSync& sync) {
@@ -58,6 +68,8 @@ void CellularStandby::save(snapshot::Writer& w) const {
     w.u64(sync.rng->raw_state());
     w.u64(sync.rng->raw_inc());
   }
+  w.boolean(pager_ != nullptr);
+  if (pager_) pager_->save(w);
 }
 
 void CellularStandby::restore(snapshot::SectionReader& s) {
@@ -72,11 +84,15 @@ void CellularStandby::restore(snapshot::SectionReader& s) {
     const std::uint64_t inc = s.u64();
     *sync.rng = Rng::from_raw(state, inc);
   }
+  SIMTY_CHECK_MSG(s.boolean() == (pager_ != nullptr),
+                  "CellularStandby::restore: paging deployment mismatch");
+  if (pager_) pager_->restore(s);
 }
 
 void CellularStandby::finalize(TimePoint horizon) {
   // time_in() spans are only complete after this flush; skipping it drops
   // the open DCH/FACH span from the accounting.
+  if (pager_) pager_->finalize(horizon);
   rrc_.finalize(horizon);
   finalized_ = true;
   SIMTY_TRACE_INSTANT(horizon, trace::TraceCategory::kNet, "cellular-finalize",

@@ -16,6 +16,7 @@
 #include "alarm/alarm_manager.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "net/drx.hpp"
 #include "net/rrc.hpp"
 
 namespace simty::snapshot {
@@ -51,9 +52,16 @@ class CellularStandby {
   /// pure function of the rng seed.
   void deploy(const std::vector<CellularSyncSpec>& specs, Rng rng, double beta);
 
-  /// Flushes the RRC machine's open state span at the horizon. Must be
-  /// called after the sim reaches the horizon and before reading
-  /// rrc().time_in(); idempotent at a fixed horizon.
+  /// Deploys the downlink DRX/paging scenario (net/drx.hpp) on this
+  /// harness's RRC machine and starts it. `wur` must be non-null iff
+  /// config.wur, and must outlive the harness. At most once per harness.
+  void deploy_paging(hw::Device& device, hw::PowerBus& bus,
+                     hw::WakeupReceiver* wur, const DrxConfig& config, Rng rng);
+
+  /// Flushes the RRC machine's open state span (and the pager's open
+  /// on-duration, when paging is deployed) at the horizon. Must be called
+  /// after the sim reaches the horizon and before reading rrc().time_in();
+  /// idempotent at a fixed horizon.
   void finalize(TimePoint horizon);
 
   bool finalized() const { return finalized_; }
@@ -61,14 +69,18 @@ class CellularStandby {
   RrcMachine& rrc() { return rrc_; }
   const RrcMachine& rrc() const { return rrc_; }
 
+  /// The deployed pager, or null before deploy_paging().
+  const DrxPager* pager() const { return pager_.get(); }
+
   /// Resolves delivery handlers for this harness's ".cell" alarms on
   /// restore; the rebuilt closure shares the deployed sync's rng stream.
   /// Returns an empty handler for foreign tags.
   alarm::DeliveryHandler handler_for(const std::string& tag);
 
-  /// Serializes the RRC machine plus each deployed sync's rng position.
-  /// restore() requires an identical deploy() to have run first (same
-  /// specs, seed, and β — the alarms themselves live in the manager).
+  /// Serializes the RRC machine, each deployed sync's rng position, and the
+  /// pager when deployed. restore() requires an identical deploy() /
+  /// deploy_paging() to have run first (same specs, seed, and β — the
+  /// alarms themselves live in the manager).
   void save(snapshot::Writer& w) const;
   void restore(snapshot::SectionReader& s);
 
@@ -82,9 +94,11 @@ class CellularStandby {
 
   alarm::DeliveryHandler sync_handler(const DeployedSync& sync);
 
+  sim::Simulator& sim_;
   alarm::AlarmManager& manager_;
   RrcMachine rrc_;
   std::vector<DeployedSync> deployed_;
+  std::unique_ptr<DrxPager> pager_;
   bool finalized_ = false;
 };
 

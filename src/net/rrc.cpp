@@ -48,6 +48,10 @@ void RrcMachine::data_activity(Duration duration) {
   arm_demotion();
 }
 
+void RrcMachine::set_state_observer(std::function<void(RrcState)> observer) {
+  state_observer_ = std::move(observer);
+}
+
 void RrcMachine::enter(RrcState next) {
   const TimePoint now = sim_.now();
   time_in_[static_cast<std::size_t>(state_)] += now - state_since_;
@@ -66,6 +70,7 @@ void RrcMachine::enter(RrcState next) {
       bus_.publish_component_power(now, hw::Component::kCellular, false, Power::zero());
       break;
   }
+  if (state_observer_) state_observer_(state_);
 }
 
 void RrcMachine::arm_demotion() {

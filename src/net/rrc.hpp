@@ -13,6 +13,7 @@
 // it via data_activity() from their delivery handlers.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "common/time.hpp"
@@ -63,6 +64,13 @@ class RrcMachine {
 
   RrcState state() const { return state_; }
 
+  /// Observer invoked after every state transition (promotions and timer
+  /// demotions alike) with the new state. The DRX pager uses it to gate the
+  /// wake-up receiver's listen rail to IDLE periods. Wiring, not state: it
+  /// is NOT serialized, and restore() does not fire it — restored observers
+  /// re-derive their view from their own restored state.
+  void set_state_observer(std::function<void(RrcState)> observer);
+
   std::uint64_t idle_promotions() const { return idle_promotions_; }
   std::uint64_t fach_promotions() const { return fach_promotions_; }
 
@@ -86,6 +94,7 @@ class RrcMachine {
   RrcConfig config_;
   hw::PowerBus& bus_;
 
+  std::function<void(RrcState)> state_observer_;
   RrcState state_ = RrcState::kIdle;
   TimePoint state_since_;
   TimePoint busy_until_;

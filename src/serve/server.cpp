@@ -34,7 +34,10 @@ std::size_t read_exact(int fd, char* buf, std::size_t n) {
 void write_all(int fd, const char* buf, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t r = ::write(fd, buf + sent, n - sent);
+    // MSG_NOSIGNAL: a peer that closed its end must surface as EPIPE (a
+    // per-connection runtime_error the serve loop absorbs), not as a
+    // process-killing SIGPIPE.
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("serve: write failed: ") +

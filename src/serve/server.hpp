@@ -31,6 +31,9 @@ void send_frame(int fd, const std::string& payload);
 /// peer closes; a "simty-shutdown" frame stops the serve loop after the
 /// acknowledgement is sent. Malformed frames get a "simty-error" reply and
 /// the connection stays up — a bad client cannot take the daemon down.
+/// Replies are written with MSG_NOSIGNAL, so a client that disconnects
+/// before reading its reply costs one dropped connection (EPIPE), never a
+/// process-wide SIGPIPE.
 class Server {
  public:
   Server(std::string socket_path, ServeCore& core);

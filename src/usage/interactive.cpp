@@ -3,6 +3,7 @@
 #include "alarm/alarm_manager.hpp"
 #include "alarm/duration_policy.hpp"
 #include "alarm/exact_policy.hpp"
+#include "alarm/fixed_interval_policy.hpp"
 #include "alarm/native_policy.hpp"
 #include "alarm/simty_policy.hpp"
 #include "apps/system_alarms.hpp"
@@ -58,6 +59,8 @@ std::unique_ptr<alarm::AlignmentPolicy> make_policy(const exp::ExperimentConfig&
     case exp::PolicyKind::kExact: return std::make_unique<alarm::ExactPolicy>();
     case exp::PolicyKind::kSimtyDuration:
       return std::make_unique<alarm::DurationSimtyPolicy>(c.similarity);
+    case exp::PolicyKind::kFixedInterval:
+      return std::make_unique<alarm::FixedIntervalPolicy>(c.fixed_interval);
   }
   SIMTY_CHECK_MSG(false, "unknown policy kind");
   return nullptr;

@@ -161,5 +161,66 @@ TEST(CliOptions, RejectsBadInput) {
   EXPECT_NE(parse({"--frobnicate"}).error.find("--help"), std::string::npos);
 }
 
+TEST(CliOptions, RejectsNonFiniteAndHexDoubles) {
+  // std::stod accepts all of these; the CLI must not. "nan" in particular
+  // used to sail through --beta's range check (nan < 0.0 is false) and
+  // poison every downstream energy figure.
+  for (const char* flag : {"--beta", "--hours", "--minutes", "--snapshot-at"}) {
+    EXPECT_FALSE(parse({flag, "nan"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "NaN"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "inf"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "-inf"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "infinity"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "0x1p3"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "0X10"}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, ""}).ok()) << flag;
+    EXPECT_FALSE(parse({flag, "1e999"}).ok()) << flag;  // overflows to inf
+  }
+  // Ordinary decimal and scientific notation still parse.
+  EXPECT_TRUE(parse({"--hours", "2.5"}).ok());
+  EXPECT_TRUE(parse({"--hours", "1e1"}).ok());
+}
+
+TEST(CliOptions, ParsesFixedIntervalPolicy) {
+  const ParseResult r =
+      parse({"--policy", "fixed", "--fixed-interval", "120"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.plan->policies,
+            (std::vector<exp::PolicyKind>{exp::PolicyKind::kFixedInterval}));
+  EXPECT_EQ(r.plan->config.fixed_interval, Duration::seconds(120));
+  // 'all' stays the four paper policies; FIXED is opt-in by name.
+  EXPECT_EQ(parse({"--policy", "all"}).plan->policies.size(), 4u);
+  EXPECT_FALSE(parse({"--fixed-interval", "0"}).ok());
+}
+
+TEST(CliOptions, ParsesDrxAndWurFlags) {
+  const ParseResult off = parse({});
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.plan->config.drx.has_value());
+
+  const ParseResult drx = parse({"--drx-cycle", "640"});
+  ASSERT_TRUE(drx.ok());
+  ASSERT_TRUE(drx.plan->config.drx.has_value());
+  EXPECT_EQ(drx.plan->config.drx->paging_cycle, Duration::millis(640));
+  EXPECT_FALSE(drx.plan->config.drx->wur);
+
+  const ParseResult wur =
+      parse({"--drx-cycle", "1280", "--wur", "--wur-budget", "500"});
+  ASSERT_TRUE(wur.ok());
+  ASSERT_TRUE(wur.plan->config.drx.has_value());
+  EXPECT_TRUE(wur.plan->config.drx->wur);
+  EXPECT_EQ(wur.plan->config.drx->wur_delay_budget, Duration::millis(500));
+
+  // Order independence: --wur may precede --drx-cycle.
+  EXPECT_TRUE(parse({"--wur", "--drx-cycle", "1280"}).ok());
+
+  EXPECT_FALSE(parse({"--wur"}).ok());                    // needs --drx-cycle
+  EXPECT_FALSE(parse({"--wur-budget", "100"}).ok());      // needs --wur
+  EXPECT_FALSE(parse({"--drx-cycle", "0"}).ok());
+  EXPECT_FALSE(parse({"--drx-cycle", "5"}).ok());         // < on-duration
+  EXPECT_FALSE(
+      parse({"--drx-cycle", "1280", "--wur", "--wur-budget", "-1"}).ok());
+}
+
 }  // namespace
 }  // namespace simty::cli

@@ -50,6 +50,12 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.worst_gap_ratio, b.worst_gap_ratio);
   EXPECT_EQ(a.gap_violations, b.gap_violations);
   EXPECT_EQ(a.perceptible_window_misses, b.perceptible_window_misses);
+  EXPECT_EQ(a.pages_answered, b.pages_answered);
+  EXPECT_EQ(a.page_delay_avg_s, b.page_delay_avg_s);
+  EXPECT_EQ(a.page_delay_p95_s, b.page_delay_p95_s);
+  EXPECT_EQ(a.drx_listen_seconds, b.drx_listen_seconds);
+  EXPECT_EQ(a.wur_listen_seconds, b.wur_listen_seconds);
+  EXPECT_EQ(a.wur_triggers, b.wur_triggers);
 }
 
 ExperimentConfig quick(PolicyKind policy) {
@@ -69,6 +75,30 @@ TEST(ParallelRunner, RunRepeatedMatchesSerialForEveryPolicy) {
     const RunResult serial = run_repeated(c, 4, /*jobs=*/1);
     const RunResult parallel = run_repeated(c, 4, /*jobs=*/4);
     expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelRunner, RunRepeatedMatchesSerialWithDrxAndWur) {
+  // The paging scenario adds a second rng stream and per-run heap objects
+  // (pager, receiver); neither may leak scheduling nondeterminism.
+  ExperimentConfig drx = quick(PolicyKind::kSimty);
+  drx.drx.emplace();
+  {
+    SCOPED_TRACE("drx");
+    const RunResult serial = run_repeated(drx, 4, /*jobs=*/1);
+    const RunResult parallel = run_repeated(drx, 4, /*jobs=*/4);
+    expect_identical(serial, parallel);
+    EXPECT_GT(serial.pages_answered, 0.0);
+  }
+  ExperimentConfig wur = drx;
+  wur.drx->wur = true;
+  wur.drx->wur_delay_budget = Duration::seconds(5);
+  {
+    SCOPED_TRACE("wur");
+    const RunResult serial = run_repeated(wur, 4, /*jobs=*/1);
+    const RunResult parallel = run_repeated(wur, 4, /*jobs=*/4);
+    expect_identical(serial, parallel);
+    EXPECT_GT(serial.wur_triggers, 0.0);
   }
 }
 

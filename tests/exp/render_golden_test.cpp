@@ -109,7 +109,7 @@ TEST(RenderGolden, GuaranteeAudit) {
 TEST(RenderGolden, CsvRow) {
   const std::string out = results_csv(fixture_columns());
   EXPECT_NE(out.find("NATIVE,NATIVE,449.20,243.20,692.40,64.100,136.30,"
-                     "0.00000,0.00200,392.0,695.0,0.0"),
+                     "0.00000,0.00200,392.0,695.0,0.0,0.0,0.00000,0.00000"),
             std::string::npos);
 }
 

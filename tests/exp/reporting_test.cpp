@@ -62,6 +62,25 @@ TEST(Reporting, GuaranteeAudit) {
   EXPECT_NE(out.find("1.950"), std::string::npos);
 }
 
+TEST(Reporting, PagingTableOnlyRendersWhenTheScenarioRan) {
+  // No paging activity anywhere: unconditionally printable empty string.
+  const std::vector<NamedResult> off = {{"SIMTY", sample(700, 460)}};
+  EXPECT_EQ(render_paging_table(off), "");
+
+  RunResult r = sample(700, 460);
+  r.pages_answered = 167;
+  r.page_delay_avg_s = 0.626;
+  r.page_delay_p95_s = 1.441;
+  r.drx_listen_seconds = 37.07;
+  const std::vector<NamedResult> on = {{"SIMTY+DRX", r}};
+  const std::string out = render_paging_table(on);
+  EXPECT_NE(out.find("pages answered"), std::string::npos);
+  EXPECT_NE(out.find("167.0"), std::string::npos);
+  EXPECT_NE(out.find("0.626"), std::string::npos);
+  EXPECT_NE(out.find("37.07"), std::string::npos);
+  EXPECT_NE(out.find("WuR triggers"), std::string::npos);
+}
+
 TEST(Reporting, CsvHasHeaderAndOneRowPerColumn) {
   const std::vector<NamedResult> cols = {{"L-NATIVE", sample(700, 460)},
                                          {"L-SIMTY", sample(560, 310)}};

@@ -231,6 +231,29 @@ TEST(CohortFile, RejectsMalformedInput) {
   }
 }
 
+TEST(CohortFile, RejectsDuplicateKeysWithLineNumber) {
+  // A repeated key inside one cohort is a silent last-wins footgun; the
+  // parser must name the offending line.
+  try {
+    parse_cohorts(
+        "[a]\n"
+        "weight = 1\n"
+        "rein_jitter = 0.1\n"
+        "weight = 2\n");
+    FAIL() << "expected duplicate-key failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate key: weight"), std::string::npos) << what;
+  }
+  // The same key in different cohorts is fine — the set resets per section.
+  EXPECT_NO_THROW(parse_cohorts(
+      "[a]\n"
+      "weight = 1\n"
+      "[b]\n"
+      "weight = 2\n"));
+}
+
 TEST(Apportion, IsExactDeterministicAndOrdered) {
   std::vector<CohortSpec> cohorts(3);
   cohorts[0].weight = 2.0;

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -202,6 +207,46 @@ TEST(ServeServer, SocketRoundTripServesAndShutsDown) {
   // A garbage frame gets an error reply, not a dead daemon.
   const std::string err = query(path, std::string("garbage"));
   EXPECT_THROW(decode_response(err), std::logic_error);
+
+  EXPECT_TRUE(is_shutdown_frame(query(path, encode_shutdown())));
+  daemon.join();
+}
+
+TEST(ServeServer, ClientClosingBeforeReplySurvivesAsEpipe) {
+  // Regression: the reply used to go through bare ::write, so a client that
+  // disconnected before reading its reply raised SIGPIPE and killed the
+  // daemon process. With MSG_NOSIGNAL the write fails with EPIPE, the serve
+  // loop drops that connection, and the next client is served normally.
+  const std::string path = ::testing::TempDir() + "simty_serve_epipe.sock";
+  ServeCore core;
+  Server server(path, core);
+  std::thread daemon([&] { server.serve(); });
+
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size() + 1, sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    Request req = quick_request();
+    req.duration = Duration::minutes(30);
+    send_frame(fd, encode_request(req));
+    // Vanish while the server is still simulating: its reply write lands on
+    // a closed peer.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+
+  // The daemon must still be alive and serving.
+  Request req = quick_request();
+  req.duration = Duration::minutes(30);
+  req.seed = 21;
+  const Response resp = decode_response(query(path, encode_request(req)));
+  EXPECT_FALSE(resp.policy_name.empty());
 
   EXPECT_TRUE(is_shutdown_frame(query(path, encode_shutdown())));
   daemon.join();

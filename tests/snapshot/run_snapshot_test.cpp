@@ -56,6 +56,12 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.worst_gap_ratio, b.worst_gap_ratio);
   EXPECT_EQ(a.gap_violations, b.gap_violations);
   EXPECT_EQ(a.perceptible_window_misses, b.perceptible_window_misses);
+  EXPECT_EQ(a.pages_answered, b.pages_answered);
+  EXPECT_EQ(a.page_delay_avg_s, b.page_delay_avg_s);
+  EXPECT_EQ(a.page_delay_p95_s, b.page_delay_p95_s);
+  EXPECT_EQ(a.drx_listen_seconds, b.drx_listen_seconds);
+  EXPECT_EQ(a.wur_listen_seconds, b.wur_listen_seconds);
+  EXPECT_EQ(a.wur_triggers, b.wur_triggers);
 }
 
 class RunSnapshotPolicyTest : public ::testing::TestWithParam<PolicyKind> {};
@@ -208,6 +214,88 @@ TEST(RunSnapshotTest, BetaSwitchPrefixIsSharedAcrossSweepPoints) {
   const RunResult actual = warm.finish();
   expect_identical(expected, actual);
   EXPECT_EQ(straight.delivery_log().to_csv(), warm.delivery_log().to_csv());
+}
+
+TEST(RunSnapshotTest, CheckpointResumeWithDrxMatches) {
+  // The paging occasion grid runs every 1.28 s, so an hour-mark checkpoint
+  // lands between DRX cycles with pending occasion/arrival events and
+  // (possibly) queued pages — all of which must survive the trip.
+  ExperimentConfig config = base_config(PolicyKind::kSimty);
+  config.drx.emplace();
+
+  exp::Run straight(config);
+  const RunResult expected = straight.finish();
+  EXPECT_GT(expected.pages_answered, 0.0);
+  EXPECT_GT(expected.drx_listen_seconds, 0.0);
+
+  exp::Run first(config);
+  first.advance_to_quiescent(TimePoint::origin() + Duration::hours(1));
+  const std::string snap = first.save_snapshot();
+  exp::Run resumed(config);
+  resumed.restore_snapshot(snap);
+  expect_identical(expected, resumed.finish());
+}
+
+TEST(RunSnapshotTest, CheckpointResumeWithWurMatches) {
+  // WuR mode: the receiver's listen rail and any armed batched-answer
+  // event serialize with the run.
+  ExperimentConfig config = base_config(PolicyKind::kSimty);
+  config.drx.emplace();
+  config.drx->wur = true;
+  config.drx->wur_delay_budget = Duration::seconds(10);
+
+  exp::Run straight(config);
+  const RunResult expected = straight.finish();
+  EXPECT_GT(expected.pages_answered, 0.0);
+  EXPECT_GT(expected.wur_triggers, 0.0);
+  EXPECT_GT(expected.wur_listen_seconds, 0.0);
+  EXPECT_EQ(expected.drx_listen_seconds, 0.0);
+
+  exp::Run first(config);
+  first.advance_to_quiescent(TimePoint::origin() + Duration::minutes(70));
+  const std::string snap = first.save_snapshot();
+  exp::Run resumed(config);
+  resumed.restore_snapshot(snap);
+  expect_identical(expected, resumed.finish());
+}
+
+TEST(RunSnapshotTest, SnapshotWithDrxIsDeterministic) {
+  ExperimentConfig config = base_config(PolicyKind::kSimty);
+  config.drx.emplace();
+  config.drx->wur = true;
+  const TimePoint checkpoint = TimePoint::origin() + Duration::minutes(45);
+
+  exp::Run a(config);
+  a.advance_to_quiescent(checkpoint);
+  exp::Run b(config);
+  b.advance_to_quiescent(checkpoint);
+  EXPECT_EQ(a.save_snapshot(), b.save_snapshot());
+}
+
+TEST(RunSnapshotTest, RestoreRejectsPagingConfigMismatch) {
+  // A snapshot taken with the paging scenario enabled carries cellular (and
+  // wur) sections; restoring it into a run configured without them — or
+  // vice versa — is a config mismatch, not silent divergence.
+  ExperimentConfig with_drx = base_config(PolicyKind::kSimty);
+  with_drx.drx.emplace();
+  exp::Run drx_run(with_drx);
+  drx_run.advance_to_quiescent(TimePoint::origin() + Duration::minutes(30));
+  const std::string drx_snap = drx_run.save_snapshot();
+
+  const ExperimentConfig plain = base_config(PolicyKind::kSimty);
+  exp::Run plain_run(plain);
+  plain_run.advance_to_quiescent(TimePoint::origin() + Duration::minutes(30));
+  const std::string plain_snap = plain_run.save_snapshot();
+
+  exp::Run into_plain(plain);
+  EXPECT_THROW(into_plain.restore_snapshot(drx_snap), std::logic_error);
+  exp::Run into_drx(with_drx);
+  EXPECT_THROW(into_drx.restore_snapshot(plain_snap), std::logic_error);
+
+  ExperimentConfig with_wur = with_drx;
+  with_wur.drx->wur = true;
+  exp::Run into_wur(with_wur);
+  EXPECT_THROW(into_wur.restore_snapshot(drx_snap), std::logic_error);
 }
 
 TEST(RunSnapshotTest, RestoreRejectsHorizonMismatch) {

@@ -211,6 +211,8 @@ int main(int argc, char** argv) {
   std::printf("%s\n", exp::render_wakeup_table(columns).c_str());
   std::printf("%s\n", exp::render_standby_projection(columns).c_str());
   std::printf("%s\n", exp::render_guarantee_audit(columns).c_str());
+  const std::string paging = exp::render_paging_table(columns);
+  if (!paging.empty()) std::printf("%s\n", paging.c_str());
 
   if (plan.csv_path) {
     if (!write_file(*plan.csv_path, exp::results_csv(columns))) return 1;
